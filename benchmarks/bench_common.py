@@ -1,0 +1,42 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures: it runs
+the corresponding harness once (``benchmark.pedantic`` with a single
+round — these are simulations, not microbenchmarks), prints the rows the
+paper plots, and asserts the qualitative shape the paper reports.
+
+Run them all with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def print_table(title: str, rows: Iterable[dict], keys: list[str] | None = None) -> None:
+    rows = list(rows)
+    if not rows:
+        print(f"\n== {title} == (no rows)")
+        return
+    if keys is None:
+        keys = list(rows[0])
+    print(f"\n== {title} ==")
+    header = " | ".join(f"{k:>18}" for k in keys)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        cells = []
+        for k in keys:
+            v = row.get(k, "")
+            if isinstance(v, float):
+                cells.append(f"{v:>18,.1f}")
+            else:
+                cells.append(f"{str(v):>18}")
+        print(" | ".join(cells))
+
+
+def run_once(benchmark, fn):
+    """Run a simulation exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,35 @@
+"""Fig. 16 — ResNet-50 queue/network breakdown, FIFO vs LIFO scheduling.
+
+Paper shape: the two policies behave almost identically — the 8x-faster
+local dimension drains phase 1 so quickly that all of a layer's chunks
+clear it before the next layer's chunks arrive, forcing effectively
+in-order execution; most queueing delay sits in Queue P2 (waiting for the
+inter-package fabric to finish previously issued chunks).
+"""
+
+from repro.config.parameters import SchedulingPolicy
+from repro.harness import fig14
+
+from bench_common import print_table, run_once
+
+
+def test_fig16_fifo_vs_lifo(benchmark):
+    runs = run_once(benchmark, lambda: fig14.run_fifo_vs_lifo(num_iterations=2))
+
+    for name, run in runs.items():
+        print_table(f"Fig 16 ({name}): queue/network breakdown",
+                    run.breakdown.rows(), keys=["phase", "queue", "network"])
+        print(f"{name}: total={run.report.total_cycles:,.0f} "
+              f"exposed={run.report.total_exposed_cycles:,.0f}")
+
+    lifo, fifo = runs["LIFO"], runs["FIFO"]
+    assert lifo.policy is SchedulingPolicy.LIFO
+
+    # "LIFO scheduling behaves similar to FIFO scheduling" (Sec. V-F).
+    assert lifo.report.total_cycles == \
+        __import__("pytest").approx(fifo.report.total_cycles, rel=0.10)
+
+    # Queue P2 dominates queueing among the inter-package phases.
+    for run in runs.values():
+        b = run.breakdown
+        assert b.mean_queue_delay(2) >= b.mean_queue_delay(3)

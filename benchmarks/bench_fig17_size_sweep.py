@@ -1,0 +1,36 @@
+"""Fig. 17 — ResNet-50 exposed-communication ratio vs. system size.
+
+Paper shape: the exposed share of busy time grows monotonically as the
+torus scales from 2x2x2 (8 NPUs, 4.1%) to 2x8x8 (128 NPUs, 25.2%) —
+per-NPU compute is constant under data parallelism while collective
+latency grows with ring sizes.
+
+The bench sweeps up to 2x8x4 (64 NPUs) to keep runtime reasonable; pass
+the full shape list to repro.harness.fig17.run for the 128-NPU point.
+"""
+
+from repro.config.parameters import TorusShape
+from repro.harness import fig17
+
+from bench_common import print_table, run_once
+
+SHAPES = (
+    TorusShape(2, 2, 2),
+    TorusShape(2, 4, 2),
+    TorusShape(2, 4, 4),
+    TorusShape(2, 8, 4),
+)
+
+
+def test_fig17_exposed_vs_size(benchmark):
+    result = run_once(benchmark, lambda: fig17.run(shapes=SHAPES,
+                                                   num_iterations=2))
+    print_table("Fig 17: exposed-comm ratio vs system size", result.rows,
+                keys=["shape", "npus", "compute_cycles", "exposed_cycles",
+                      "exposed_ratio"])
+
+    ratios = [row["exposed_ratio"] for row in result.rows]
+    assert all(b >= a for a, b in zip(ratios, ratios[1:])), (
+        "exposed ratio must grow (weakly) with system size")
+    assert ratios[-1] > ratios[0], "the sweep must show real growth"
+    assert ratios[-1] > 0.05, "large systems expose substantial communication"

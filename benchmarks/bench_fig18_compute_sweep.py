@@ -1,0 +1,26 @@
+"""Fig. 18 — ResNet-50 exposed communication vs. NPU compute power.
+
+Paper shape: at 0.5x compute the network hides completely (<1% exposed);
+at 4x compute the fixed-speed network dominates (63.9% of latency from
+communication) — the diminishing-returns point for faster NPUs.
+"""
+
+from repro.harness import fig18
+
+from bench_common import print_table, run_once
+
+
+def test_fig18_exposed_vs_compute_power(benchmark):
+    result = run_once(benchmark, lambda: fig18.run(num_iterations=2))
+    print_table("Fig 18: exposed-comm ratio vs compute power", result.rows,
+                keys=["compute_scale", "compute_cycles", "exposed_cycles",
+                      "exposed_ratio"])
+
+    by_scale = {row["compute_scale"]: row["exposed_ratio"]
+                for row in result.rows}
+    assert by_scale[0.5] < 0.01, "0.5x compute fully hides communication"
+    ratios = [row["exposed_ratio"] for row in result.rows]
+    assert all(b >= a for a, b in zip(ratios, ratios[1:])), (
+        "exposure must grow with compute power")
+    assert by_scale[4.0] > 0.4, (
+        "at 4x compute, communication dominates (paper: 63.9%)")

@@ -1,0 +1,6 @@
+"""Make the benchmark helpers importable and register bench defaults."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,143 @@
+"""repro — a pure-Python reproduction of ASTRA-SIM (ISPASS 2020).
+
+ASTRA-SIM simulates distributed DNN training over hierarchical scale-up
+fabrics: a workload layer (training loop + parallelism strategy), a
+system layer (topology-aware multi-phase collectives + chunk scheduler),
+and a network layer (two backends: a fast analytical link-level model and
+a detailed flit/credit/VC model).
+
+Quickstart::
+
+    from repro import (
+        CollectiveAlgorithm, System, TorusShape, TrainingLoop,
+        build_torus_topology, paper_simulation_config, resnet50,
+    )
+
+    config = paper_simulation_config(algorithm=CollectiveAlgorithm.ENHANCED)
+    topology = build_torus_topology(TorusShape(2, 4, 4), config.network,
+                                    config.system)
+    system = System(topology, config)
+    model = resnet50(compute=config.compute)
+    report = TrainingLoop(system, model, num_iterations=2).run()
+    print(report.exposed_comm_ratio)
+"""
+
+from repro.collectives import (
+    ChunkExecution,
+    CollectiveContext,
+    CollectiveOp,
+    PhaseSpec,
+    build_phase_plan,
+)
+from repro.compute import ConvSpec, GemmShape, LinearSpec, SystolicArrayModel
+from repro.config import (
+    AllToAllShape,
+    Clock,
+    CollectiveAlgorithm,
+    ComputeConfig,
+    LinkConfig,
+    NetworkConfig,
+    SchedulingPolicy,
+    SimulationConfig,
+    SystemConfig,
+    TopologyKind,
+    TorusShape,
+    paper_network_config,
+    paper_simulation_config,
+    paper_system_config,
+    symmetric_network_config,
+)
+from repro.dims import Dimension
+from repro.errors import (
+    CollectiveError,
+    ConfigError,
+    NetworkError,
+    ReproError,
+    SchedulerError,
+    SimulationError,
+    TopologyError,
+    WorkloadError,
+)
+from repro.events import EventQueue
+from repro.models import dlrm, mlp, resnet50, transformer
+from repro.network import FastBackend, Message
+from repro.network.detailed import DetailedBackend
+from repro.system import CollectiveSet, System
+from repro.topology import (
+    LogicalTopology,
+    build_alltoall_topology,
+    build_torus_topology,
+)
+from repro.workload import (
+    DATA_PARALLEL,
+    MODEL_PARALLEL,
+    CommSpec,
+    DNNModel,
+    LayerSpec,
+    ParallelismStrategy,
+    TrainingLoop,
+    TrainingPhase,
+    TrainingReport,
+    hybrid,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AllToAllShape",
+    "ChunkExecution",
+    "Clock",
+    "CollectiveAlgorithm",
+    "CollectiveContext",
+    "CollectiveError",
+    "CollectiveOp",
+    "CollectiveSet",
+    "CommSpec",
+    "ComputeConfig",
+    "ConfigError",
+    "ConvSpec",
+    "DATA_PARALLEL",
+    "DetailedBackend",
+    "Dimension",
+    "DNNModel",
+    "EventQueue",
+    "FastBackend",
+    "GemmShape",
+    "LayerSpec",
+    "LinearSpec",
+    "LinkConfig",
+    "LogicalTopology",
+    "Message",
+    "MODEL_PARALLEL",
+    "NetworkConfig",
+    "NetworkError",
+    "ParallelismStrategy",
+    "PhaseSpec",
+    "ReproError",
+    "SchedulerError",
+    "SchedulingPolicy",
+    "SimulationConfig",
+    "SimulationError",
+    "System",
+    "SystemConfig",
+    "SystolicArrayModel",
+    "TopologyError",
+    "TopologyKind",
+    "TorusShape",
+    "TrainingLoop",
+    "TrainingPhase",
+    "TrainingReport",
+    "WorkloadError",
+    "build_alltoall_topology",
+    "build_phase_plan",
+    "build_torus_topology",
+    "dlrm",
+    "hybrid",
+    "mlp",
+    "paper_network_config",
+    "paper_simulation_config",
+    "paper_system_config",
+    "resnet50",
+    "symmetric_network_config",
+    "transformer",
+]

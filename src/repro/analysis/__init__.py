@@ -1,0 +1,42 @@
+"""Reporting and analysis helpers for simulation results."""
+
+from repro.analysis.compare import ComparisonTable
+from repro.analysis.export import (
+    breakdown_to_dict,
+    report_to_dict,
+    report_to_json,
+    rows_to_csv,
+)
+from repro.analysis.plots import bar_chart, series_chart
+from repro.analysis.trace import (
+    PhaseSpan,
+    collect_timeline,
+    phase_occupancy,
+    to_chrome_trace,
+)
+from repro.analysis.report import (
+    LayerRow,
+    RunSummary,
+    format_breakdown,
+    format_layer_table,
+    layer_rows,
+)
+
+__all__ = [
+    "ComparisonTable",
+    "PhaseSpan",
+    "bar_chart",
+    "breakdown_to_dict",
+    "collect_timeline",
+    "phase_occupancy",
+    "report_to_dict",
+    "report_to_json",
+    "rows_to_csv",
+    "series_chart",
+    "to_chrome_trace",
+    "LayerRow",
+    "RunSummary",
+    "format_breakdown",
+    "format_layer_table",
+    "layer_rows",
+]

@@ -1,0 +1,53 @@
+"""Side-by-side comparison helpers for design-space sweeps.
+
+The paper's workflow compares many (topology, algorithm, scheduling)
+points; :class:`ComparisonTable` collects labelled results and renders a
+Fig. 9/10/11-style table with speedups against a chosen baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+
+@dataclass
+class ComparisonTable:
+    """Labelled metric rows with speedup-vs-baseline rendering."""
+
+    metric: str = "cycles"
+    rows: dict[str, float] = field(default_factory=dict)
+
+    def add(self, label: str, value: float) -> None:
+        if label in self.rows:
+            raise ReproError(f"duplicate comparison label {label!r}")
+        if value <= 0:
+            raise ReproError(f"{self.metric} must be positive, got {value}")
+        self.rows[label] = value
+
+    def speedup(self, label: str, baseline: str) -> float:
+        """How many times faster ``label`` is than ``baseline``."""
+        try:
+            return self.rows[baseline] / self.rows[label]
+        except KeyError as missing:
+            raise ReproError(f"unknown label {missing}") from None
+
+    def best(self) -> str:
+        if not self.rows:
+            raise ReproError("comparison table is empty")
+        return min(self.rows, key=self.rows.get)
+
+    def format(self, baseline: str | None = None) -> str:
+        if not self.rows:
+            raise ReproError("comparison table is empty")
+        if baseline is None:
+            baseline = next(iter(self.rows))
+        width = max(len(label) for label in self.rows)
+        lines = [f"{'configuration':<{width}}  {self.metric:>14}  {'speedup':>8}"]
+        for label, value in self.rows.items():
+            lines.append(
+                f"{label:<{width}}  {value:>14,.0f}  "
+                f"{self.speedup(label, baseline):>7.2f}x"
+            )
+        return "\n".join(lines)

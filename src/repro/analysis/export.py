@@ -1,0 +1,84 @@
+"""Serialize simulation results to JSON/CSV for downstream tooling.
+
+Keeps the figure-regeneration pipeline scriptable: every bench's rows can
+be dumped and re-plotted outside Python.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Iterable
+
+from repro.system.stats import DelayBreakdown
+from repro.workload.parallelism import TrainingPhase
+from repro.workload.training_loop import TrainingReport
+
+
+def report_to_dict(report: TrainingReport) -> dict:
+    """A JSON-ready dictionary of a training run."""
+    return {
+        "model": report.model_name,
+        "num_iterations": report.num_iterations,
+        "total_cycles": report.total_cycles,
+        "total_compute_cycles": report.total_compute_cycles,
+        "total_exposed_cycles": report.total_exposed_cycles,
+        "total_comm_cycles": report.total_comm_cycles,
+        "exposed_comm_ratio": report.exposed_comm_ratio,
+        "iteration_ends": list(report.iteration_ends),
+        "layers": [
+            {
+                "name": layer.name,
+                "compute_cycles": {
+                    phase.value: layer.compute_cycles[phase]
+                    for phase in TrainingPhase
+                },
+                "comm_cycles": {
+                    phase.value: layer.comm_cycles[phase]
+                    for phase in TrainingPhase
+                },
+                "comm_bytes": {
+                    phase.value: layer.comm_bytes[phase]
+                    for phase in TrainingPhase
+                },
+                "exposed_cycles": layer.exposed_cycles,
+            }
+            for layer in report.layers
+        ],
+    }
+
+
+def report_to_json(report: TrainingReport, indent: int = 2) -> str:
+    return json.dumps(report_to_dict(report), indent=indent)
+
+
+def breakdown_to_dict(breakdown: DelayBreakdown) -> dict:
+    """The Fig. 12b rows plus raw per-phase counters."""
+    return {
+        "rows": breakdown.rows(),
+        "phases": {
+            str(phase): {
+                "messages": stats.messages,
+                "bytes": stats.bytes,
+                "queue_cycles": stats.queue_cycles,
+                "network_cycles": stats.network_cycles,
+            }
+            for phase, stats in sorted(breakdown.phase_stats.items())
+        },
+    }
+
+
+def rows_to_csv(rows: Iterable[dict], keys: list[str] | None = None) -> str:
+    """Render any bench's row dicts as CSV text."""
+    rows = list(rows)
+    if not rows:
+        return ""
+    if keys is None:
+        keys = list(rows[0])
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=keys, extrasaction="ignore")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()

@@ -1,0 +1,80 @@
+"""ASCII chart rendering for figure rows.
+
+The benches regenerate the paper's figures as tables; these helpers
+render the same rows as terminal bar/line charts so a sweep's shape is
+visible at a glance without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import ReproError
+
+_BAR = "█"
+_HALF = "▌"
+
+
+def bar_chart(
+    rows: Iterable[dict],
+    label_key: str,
+    value_key: str,
+    width: int = 50,
+    title: str | None = None,
+) -> str:
+    """A horizontal bar chart of one value column.
+
+    >>> print(bar_chart([{"x": "a", "v": 2.0}, {"x": "b", "v": 4.0}],
+    ...                 "x", "v", width=4))
+    a │██   2
+    b │████ 4
+    """
+    rows = list(rows)
+    if not rows:
+        raise ReproError("bar_chart needs at least one row")
+    if width < 1:
+        raise ReproError("width must be >= 1")
+    values = [float(r[value_key]) for r in rows]
+    if any(v < 0 for v in values):
+        raise ReproError("bar_chart requires non-negative values")
+    peak = max(values) or 1.0
+    label_width = max(len(str(r[label_key])) for r in rows)
+    lines = [] if title is None else [title]
+    for row, value in zip(rows, values):
+        filled = value / peak * width
+        bar = _BAR * int(filled)
+        if filled - int(filled) >= 0.5:
+            bar += _HALF
+        bar = bar.ljust(width)
+        lines.append(f"{str(row[label_key]):<{label_width}} │{bar} {value:g}")
+    return "\n".join(lines)
+
+
+def series_chart(
+    rows: Iterable[dict],
+    x_key: str,
+    series_keys: Sequence[str],
+    width: int = 60,
+    title: str | None = None,
+) -> str:
+    """A multi-series comparison: one bar group per x value.
+
+    Mirrors the grouped-bar figures of the paper (e.g. Fig. 9's
+    alltoall-vs-torus per message size).
+    """
+    rows = list(rows)
+    if not rows:
+        raise ReproError("series_chart needs at least one row")
+    if not series_keys:
+        raise ReproError("series_chart needs at least one series")
+    peak = max(float(row[key]) for row in rows for key in series_keys) or 1.0
+    key_width = max(len(k) for k in series_keys)
+    lines = [] if title is None else [title]
+    for row in rows:
+        lines.append(f"{x_key}={row[x_key]:g}" if isinstance(row[x_key], (int, float))
+                     else f"{x_key}={row[x_key]}")
+        for key in series_keys:
+            value = float(row[key])
+            bar = _BAR * max(1, int(value / peak * width)) if value > 0 else ""
+            lines.append(f"  {key:<{key_width}} │{bar} {value:,.0f}")
+    return "\n".join(lines)

@@ -1,0 +1,112 @@
+"""Run reports: the layer-wise and breakdown views of Figs. 12-16.
+
+Turns a :class:`TrainingReport` plus the system's
+:class:`DelayBreakdown` into printable tables matching what the paper
+plots: per-layer raw communication time (Figs. 13/14), per-layer compute
+vs. exposed communication (Fig. 15), and the queue/network phase
+breakdown (Figs. 12b/16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.system.stats import DelayBreakdown
+from repro.workload.parallelism import TrainingPhase
+from repro.workload.training_loop import TrainingReport
+
+
+@dataclass(frozen=True)
+class LayerRow:
+    """One row of the layer-wise tables."""
+
+    index: int
+    name: str
+    forward_comm_cycles: float
+    input_grad_comm_cycles: float
+    weight_grad_comm_cycles: float
+    compute_cycles: float
+    exposed_cycles: float
+
+    @property
+    def total_comm_cycles(self) -> float:
+        return (self.forward_comm_cycles + self.input_grad_comm_cycles
+                + self.weight_grad_comm_cycles)
+
+
+def layer_rows(report: TrainingReport) -> list[LayerRow]:
+    """Layer-wise rows in model order (the x-axis of Figs. 13-15)."""
+    rows = []
+    for i, layer in enumerate(report.layers):
+        rows.append(LayerRow(
+            index=i,
+            name=layer.name,
+            forward_comm_cycles=layer.comm_cycles[TrainingPhase.FORWARD],
+            input_grad_comm_cycles=layer.comm_cycles[TrainingPhase.INPUT_GRAD],
+            weight_grad_comm_cycles=layer.comm_cycles[TrainingPhase.WEIGHT_GRAD],
+            compute_cycles=layer.total_compute_cycles,
+            exposed_cycles=layer.exposed_cycles,
+        ))
+    return rows
+
+
+def format_layer_table(report: TrainingReport, max_rows: Optional[int] = None) -> str:
+    """A Fig. 14/15-style text table."""
+    rows = layer_rows(report)
+    if max_rows is not None:
+        rows = rows[:max_rows]
+    header = (f"{'#':>3} {'layer':<16} {'compute':>12} {'comm(fwd)':>12} "
+              f"{'comm(ig)':>12} {'comm(wg)':>12} {'exposed':>12}")
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r.index:>3} {r.name:<16} {r.compute_cycles:>12.0f} "
+            f"{r.forward_comm_cycles:>12.0f} {r.input_grad_comm_cycles:>12.0f} "
+            f"{r.weight_grad_comm_cycles:>12.0f} {r.exposed_cycles:>12.0f}"
+        )
+    return "\n".join(lines)
+
+
+def format_breakdown(breakdown: DelayBreakdown) -> str:
+    """A Fig. 12b-style queue/network delay table."""
+    header = f"{'stage':<10} {'queue (cyc)':>14} {'network (cyc)':>14}"
+    lines = [header, "-" * len(header)]
+    for row in breakdown.rows():
+        lines.append(
+            f"P{row['phase']:<9} {row['queue']:>14.1f} {row['network']:>14.1f}"
+        )
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """The headline numbers of one training simulation."""
+
+    model_name: str
+    num_iterations: int
+    total_cycles: float
+    compute_cycles: float
+    exposed_comm_cycles: float
+    raw_comm_cycles: float
+    exposed_comm_ratio: float
+
+    @classmethod
+    def from_report(cls, report: TrainingReport) -> "RunSummary":
+        return cls(
+            model_name=report.model_name,
+            num_iterations=report.num_iterations,
+            total_cycles=report.total_cycles,
+            compute_cycles=report.total_compute_cycles,
+            exposed_comm_cycles=report.total_exposed_cycles,
+            raw_comm_cycles=report.total_comm_cycles,
+            exposed_comm_ratio=report.exposed_comm_ratio,
+        )
+
+    def format(self) -> str:
+        return (
+            f"{self.model_name}: {self.num_iterations} iteration(s) in "
+            f"{self.total_cycles:,.0f} cycles | compute {self.compute_cycles:,.0f} "
+            f"| exposed comm {self.exposed_comm_cycles:,.0f} "
+            f"({self.exposed_comm_ratio:.1%}) | raw comm {self.raw_comm_cycles:,.0f}"
+        )

@@ -1,0 +1,31 @@
+"""Closed-form collective cost models for analysis and cross-checks."""
+
+from repro.analytical.overlap import (
+    OverlapEstimate,
+    compute_scale_sweep,
+    estimate_overlap,
+)
+from repro.analytical.cost_models import (
+    LinkParams,
+    direct_all_reduce_cycles,
+    direct_reduce_scatter_cycles,
+    hierarchical_all_reduce_volume,
+    ring_all_gather_cycles,
+    ring_all_reduce_cycles,
+    ring_all_to_all_cycles,
+    ring_reduce_scatter_cycles,
+)
+
+__all__ = [
+    "LinkParams",
+    "OverlapEstimate",
+    "compute_scale_sweep",
+    "estimate_overlap",
+    "direct_all_reduce_cycles",
+    "direct_reduce_scatter_cycles",
+    "hierarchical_all_reduce_volume",
+    "ring_all_gather_cycles",
+    "ring_all_reduce_cycles",
+    "ring_all_to_all_cycles",
+    "ring_reduce_scatter_cycles",
+]

@@ -1,0 +1,130 @@
+"""Closed-form collective cost models (alpha-beta style).
+
+Used two ways: as fast first-order analysis (the "analytical results" of
+Sec. V) and as cross-checks on the simulator — simulated times must never
+beat these lower bounds, and must approach them for large messages.
+
+All costs are in cycles for one chunk of ``size`` bytes on links with
+``bytes_per_cycle`` effective bandwidth and ``latency`` cycles per hop;
+``alpha`` folds in per-step fixed costs (endpoint delay etc.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CollectiveError
+
+
+@dataclass(frozen=True)
+class LinkParams:
+    """Effective per-link timing used by the closed forms."""
+
+    bytes_per_cycle: float
+    latency_cycles: float
+    endpoint_delay_cycles: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_cycle <= 0:
+            raise CollectiveError("bytes_per_cycle must be positive")
+        if self.latency_cycles < 0 or self.endpoint_delay_cycles < 0:
+            raise CollectiveError("latencies must be >= 0")
+
+    @property
+    def alpha(self) -> float:
+        """Per-step fixed cost."""
+        return self.latency_cycles + self.endpoint_delay_cycles
+
+
+def ring_reduce_scatter_cycles(size: float, n: int, link: LinkParams,
+                               reduction_cycles_per_kb: float = 0.0) -> float:
+    """(N-1) steps of size/N messages plus per-step reduction."""
+    _check(size, n)
+    step = size / n / link.bytes_per_cycle + link.alpha
+    reduce = reduction_cycles_per_kb * (size / n) / 1024.0
+    return (n - 1) * (step + reduce)
+
+
+def ring_all_gather_cycles(size: float, n: int, link: LinkParams) -> float:
+    """(N-1) relay steps of size/N messages, no reduction."""
+    _check(size, n)
+    step = size / n / link.bytes_per_cycle + link.alpha
+    return (n - 1) * step
+
+
+def ring_all_reduce_cycles(size: float, n: int, link: LinkParams,
+                           reduction_cycles_per_kb: float = 0.0) -> float:
+    """Reduce-scatter followed by all-gather: 2(N-1) steps."""
+    return (ring_reduce_scatter_cycles(size, n, link, reduction_cycles_per_kb)
+            + ring_all_gather_cycles(size, n, link))
+
+
+def ring_all_to_all_cycles(size: float, n: int, link: LinkParams) -> float:
+    """Software-routed ring all-to-all lower bound.
+
+    The binding resource is each node's single outgoing ring link: the
+    node's own (N-1) messages plus the relay traffic passing through it —
+    message to distance d occupies d links, so per-link traffic is
+    ``(size/n) * n(n-1)/2 / n`` plus per-hop relay costs on the critical
+    path (N-1 sequential hops for the farthest message).
+    """
+    _check(size, n)
+    message = size / n
+    per_link_bytes = message * (n - 1) / 2 * 1  # sum of distances / n links * n senders
+    serialization = per_link_bytes * n / n / link.bytes_per_cycle
+    critical_hops = (n - 1) * (link.alpha + message / link.bytes_per_cycle)
+    return max(serialization, critical_hops)
+
+
+def direct_reduce_scatter_cycles(size: float, n: int, link: LinkParams,
+                                 parallel_links: int = 1,
+                                 reduction_cycles_per_kb: float = 0.0) -> float:
+    """One simultaneous step on the alltoall topology: each node pushes
+    (N-1) messages of size/N through ``parallel_links`` uplinks and
+    traverses two hops (uplink, downlink) through a switch."""
+    _check(size, n)
+    if parallel_links < 1:
+        raise CollectiveError("parallel_links must be >= 1")
+    message = size / n
+    uplink_bytes = message * (n - 1) / min(parallel_links, n - 1)
+    serialization = uplink_bytes / link.bytes_per_cycle
+    reduce = reduction_cycles_per_kb * message / 1024.0
+    return serialization + 2 * link.latency_cycles + link.endpoint_delay_cycles + reduce
+
+
+def direct_all_reduce_cycles(size: float, n: int, link: LinkParams,
+                             parallel_links: int = 1,
+                             reduction_cycles_per_kb: float = 0.0) -> float:
+    """Direct reduce-scatter + direct all-gather."""
+    rs = direct_reduce_scatter_cycles(size, n, link, parallel_links,
+                                      reduction_cycles_per_kb)
+    ag = direct_reduce_scatter_cycles(size, n, link, parallel_links, 0.0)
+    return rs + ag
+
+
+def hierarchical_all_reduce_volume(dim_sizes: list[int], enhanced: bool) -> float:
+    """Per-node traffic volume as a multiple of the initial data size N —
+    the Sec. V-B arithmetic (e.g. 126/64 for 1x64x1 baseline, 28/8 for
+    1x8x8, 36/8 for 4x4x4).
+
+    Baseline all-reduces the full data on every dimension; the enhanced
+    algorithm reduce-scatters on the first dimension, all-reduces 1/M on
+    the rest, and all-gathers on the first.
+    """
+    active = [n for n in dim_sizes if n > 1]
+    if not active:
+        return 0.0
+    if not enhanced or len(active) == 1:
+        return sum(2.0 * (n - 1) / n for n in active)
+    m = active[0]
+    volume = (m - 1) / m  # local reduce-scatter
+    volume += sum(2.0 * (n - 1) / n / m for n in active[1:])
+    volume += (m - 1) / m  # local all-gather
+    return volume
+
+
+def _check(size: float, n: int) -> None:
+    if size <= 0:
+        raise CollectiveError(f"size must be positive: {size}")
+    if n < 2:
+        raise CollectiveError(f"need >= 2 nodes, got {n}")

@@ -1,0 +1,78 @@
+"""First-order compute/communication overlap model.
+
+A closed-form companion to the simulator for the Fig. 17/18 questions:
+given per-iteration compute, raw communication demand and the platform's
+collective bandwidth, predict the exposed-communication ratio.  The
+model is deliberately simple — communication overlaps with the whole
+iteration except the first layers' tail (Sec. III-E) — and is used as a
+sanity envelope around the simulated results, not a replacement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class OverlapEstimate:
+    """Predicted timing for one training iteration."""
+
+    compute_cycles: float
+    comm_cycles: float
+    exposed_cycles: float
+
+    @property
+    def total_cycles(self) -> float:
+        return self.compute_cycles + self.exposed_cycles
+
+    @property
+    def exposed_ratio(self) -> float:
+        busy = self.compute_cycles + self.exposed_cycles
+        return self.exposed_cycles / busy if busy else 0.0
+
+
+def estimate_overlap(
+    compute_cycles: float,
+    comm_cycles: float,
+    overlappable_fraction: float = 1.0,
+) -> OverlapEstimate:
+    """Predict exposure when ``comm_cycles`` of serialized communication
+    must fit under ``compute_cycles`` of useful work.
+
+    ``overlappable_fraction`` discounts the window (e.g. activations that
+    block cannot overlap anything: pass the overlappable share).  Exposure
+    is the communication that does not fit plus the non-overlappable part.
+    """
+    if compute_cycles < 0 or comm_cycles < 0:
+        raise ReproError("cycles must be >= 0")
+    if not 0 <= overlappable_fraction <= 1:
+        raise ReproError("overlappable_fraction must be in [0, 1]")
+    overlappable = comm_cycles * overlappable_fraction
+    blocking = comm_cycles - overlappable
+    hidden = min(overlappable, compute_cycles)
+    return OverlapEstimate(
+        compute_cycles=compute_cycles,
+        comm_cycles=comm_cycles,
+        exposed_cycles=(overlappable - hidden) + blocking,
+    )
+
+
+def compute_scale_sweep(
+    base_compute_cycles: float,
+    comm_cycles: float,
+    scales: list[float],
+    overlappable_fraction: float = 1.0,
+) -> list[OverlapEstimate]:
+    """The Fig. 18 closed form: compute shrinks with NPU power while the
+    network stays fixed — exposure grows toward comm-bound saturation."""
+    if base_compute_cycles <= 0:
+        raise ReproError("base compute must be positive")
+    out = []
+    for scale in scales:
+        if scale <= 0:
+            raise ReproError(f"compute scale must be positive: {scale}")
+        out.append(estimate_overlap(
+            base_compute_cycles / scale, comm_cycles, overlappable_fraction))
+    return out

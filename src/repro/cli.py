@@ -1,0 +1,237 @@
+"""The ``astra-repro`` command line interface.
+
+Exposes the Table III input parameters and the predefined workloads::
+
+    astra-repro train --model resnet50 --topology Torus --shape 2x4x4 \\
+        --algorithm enhanced --scheduling-policy LIFO --num-passes 2
+
+    astra-repro collective --op allreduce --size-mb 8 --topology Torus \\
+        --shape 4x4x4 --algorithm enhanced
+
+    astra-repro workload-file my_dnn.txt --shape 2x2x2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.report import RunSummary, format_breakdown, format_layer_table
+from repro.collectives.types import CollectiveOp
+from repro.config.parameters import (
+    AllToAllShape,
+    CollectiveAlgorithm,
+    SchedulingPolicy,
+    TopologyKind,
+    TorusShape,
+)
+from repro.config.units import MB
+from repro.errors import ConfigError, ReproError
+from repro.harness.runners import (
+    alltoall_platform,
+    run_collective,
+    run_training,
+    torus_platform,
+)
+from repro.models import dlrm, mlp, resnet50, transformer
+from repro.workload import parser as workload_parser
+
+_MODELS = {
+    "resnet50": lambda compute: resnet50(compute=compute),
+    "transformer": lambda compute: transformer(compute=compute),
+    "dlrm": lambda compute: dlrm(compute=compute),
+    "mlp": lambda compute: mlp(compute=compute),
+}
+
+_OPS = {
+    "allreduce": CollectiveOp.ALL_REDUCE,
+    "allgather": CollectiveOp.ALL_GATHER,
+    "reducescatter": CollectiveOp.REDUCE_SCATTER,
+    "alltoall": CollectiveOp.ALL_TO_ALL,
+}
+
+
+def _parse_shape(spec: str) -> tuple[int, ...]:
+    try:
+        dims = tuple(int(tok) for tok in spec.lower().split("x"))
+    except ValueError:
+        raise ConfigError(f"bad shape {spec!r}; expected e.g. 2x4x4 or 4x16") from None
+    if len(dims) not in (2, 3):
+        raise ConfigError(f"shape {spec!r} must have 2 (alltoall) or 3 (torus) dims")
+    return dims
+
+
+def _build_platform(args: argparse.Namespace):
+    topology = TopologyKind(args.topology)
+    algorithm = CollectiveAlgorithm(args.algorithm)
+    policy = SchedulingPolicy(args.scheduling_policy)
+    dims = _parse_shape(args.shape)
+    if topology is TopologyKind.TORUS:
+        if len(dims) != 3:
+            raise ConfigError("Torus shapes are MxNxK, e.g. 2x4x4")
+        return torus_platform(
+            TorusShape(*dims),
+            algorithm=algorithm,
+            scheduling_policy=policy,
+            symmetric=args.symmetric,
+            local_rings=args.local_rings,
+            horizontal_rings=args.horizontal_rings,
+            vertical_rings=args.vertical_rings,
+            compute_scale=args.compute_scale,
+            preferred_set_splits=args.preferred_set_splits,
+        )
+    if len(dims) != 2:
+        raise ConfigError("AllToAll shapes are MxN, e.g. 4x16")
+    return alltoall_platform(
+        AllToAllShape(*dims),
+        algorithm=algorithm,
+        symmetric=args.symmetric,
+        local_rings=args.local_rings,
+        global_switches=args.global_switches,
+        preferred_set_splits=args.preferred_set_splits,
+    )
+
+
+def _add_platform_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--topology", choices=[k.value for k in TopologyKind],
+                   default="Torus", help="logical topology (Table III #8)")
+    p.add_argument("--shape", default="2x4x4",
+                   help="MxNxK torus (local x horizontal x vertical) or MxN alltoall")
+    p.add_argument("--algorithm", choices=[a.value for a in CollectiveAlgorithm],
+                   default="baseline", help="collective algorithm (Table III #3)")
+    p.add_argument("--scheduling-policy", choices=[s.value for s in SchedulingPolicy],
+                   default="LIFO", help="ready-queue order (Table III #7)")
+    p.add_argument("--symmetric", action="store_true",
+                   help="equalize local links to inter-package bandwidth")
+    p.add_argument("--local-rings", type=int, default=2, help="Table III #9")
+    p.add_argument("--horizontal-rings", type=int, default=1, help="Table III #11")
+    p.add_argument("--vertical-rings", type=int, default=1, help="Table III #10")
+    p.add_argument("--global-switches", type=int, default=2, help="Table III #12")
+    p.add_argument("--preferred-set-splits", type=int, default=16,
+                   help="chunks per collective set (Table III #16)")
+    p.add_argument("--compute-scale", type=float, default=1.0,
+                   help="NPU compute-power multiplier (Fig. 18)")
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    platform = _build_platform(args)
+    if args.workload_file:
+        model = workload_parser.load(args.workload_file)
+    else:
+        model = _MODELS[args.model](platform.config.compute)
+    report, system = run_training(model, platform, num_iterations=args.num_passes)
+    print(RunSummary.from_report(report).format())
+    if args.layer_table:
+        print()
+        print(format_layer_table(report))
+    if args.breakdown:
+        print()
+        print(format_breakdown(system.breakdown))
+    return 0
+
+
+def _cmd_collective(args: argparse.Namespace) -> int:
+    platform = _build_platform(args)
+    result = run_collective(platform, _OPS[args.op], args.size_mb * MB)
+    print(f"{args.op} of {args.size_mb} MB on {result.label} "
+          f"({result.num_npus} NPUs): {result.duration_cycles:,.0f} cycles")
+    if args.breakdown:
+        print()
+        print(format_breakdown(result.breakdown))
+    return 0
+
+
+def _cmd_bandwidth(args: argparse.Namespace) -> int:
+    from repro.harness.bandwidth_test import format_points, measure
+
+    try:
+        sizes = [float(tok) * MB for tok in args.sizes_mb.split(",")]
+    except ValueError:
+        raise ConfigError(f"bad --sizes-mb list: {args.sizes_mb!r}") from None
+    points = measure(lambda: _build_platform(args), _OPS[args.op], sizes)
+    print(f"{args.op} bandwidth test on {_build_platform(args).name}:")
+    print(format_points(points))
+    return 0
+
+
+def _cmd_memory(args: argparse.Namespace) -> int:
+    from repro.config.units import GB
+    from repro.workload.memory import estimate_footprint
+
+    model = _MODELS[args.model](None)
+    footprint = estimate_footprint(
+        model, model_parallel_degree=args.model_parallel_degree)
+    capacity = args.hbm_gb * GB
+    print(f"{args.model}: per-NPU memory footprint")
+    print(f"  parameters : {footprint.parameter_bytes / GB:8.2f} GB")
+    print(f"  gradients  : {footprint.gradient_bytes / GB:8.2f} GB")
+    print(f"  optimizer  : {footprint.optimizer_bytes / GB:8.2f} GB")
+    print(f"  activations: {footprint.activation_bytes / GB:8.2f} GB")
+    print(f"  total      : {footprint.total_bytes / GB:8.2f} GB "
+          f"({footprint.utilization(capacity):.1%} of {args.hbm_gb:g} GB HBM)")
+    if not footprint.fits(capacity):
+        print("  WARNING: does not fit the configured HBM capacity")
+        return 1
+    return 0
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    root = argparse.ArgumentParser(
+        prog="astra-repro",
+        description="ASTRA-SIM reproduction: distributed DL training simulator",
+    )
+    sub = root.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="simulate a DNN training workload")
+    _add_platform_args(train)
+    train.add_argument("--model", choices=sorted(_MODELS), default="resnet50",
+                       help="predefined DNN workload (Table III #1)")
+    train.add_argument("--workload-file", default=None,
+                       help="Fig. 8 workload file (overrides --model)")
+    train.add_argument("--num-passes", type=int, default=2,
+                       help="training iterations to simulate (Table III #2)")
+    train.add_argument("--layer-table", action="store_true",
+                       help="print the per-layer compute/comm table (Figs. 14/15)")
+    train.add_argument("--breakdown", action="store_true",
+                       help="print the queue/network delay breakdown (Fig. 12b)")
+    train.set_defaults(func=_cmd_train)
+
+    coll = sub.add_parser("collective", help="time a single collective operation")
+    _add_platform_args(coll)
+    coll.add_argument("--op", choices=sorted(_OPS), default="allreduce")
+    coll.add_argument("--size-mb", type=float, default=8.0,
+                      help="collective payload in MB")
+    coll.add_argument("--breakdown", action="store_true")
+    coll.set_defaults(func=_cmd_collective)
+
+    bw = sub.add_parser("bandwidth",
+                        help="collective bandwidth test (algbw/busbw table)")
+    _add_platform_args(bw)
+    bw.add_argument("--op", choices=sorted(_OPS), default="allreduce")
+    bw.add_argument("--sizes-mb", default="0.0625,0.5,4,32",
+                    help="comma-separated payload sizes in MB")
+    bw.set_defaults(func=_cmd_bandwidth)
+
+    mem = sub.add_parser("memory",
+                         help="estimate per-NPU memory footprint of a model")
+    mem.add_argument("--model", choices=sorted(_MODELS), default="resnet50")
+    mem.add_argument("--hbm-gb", type=float, default=32.0,
+                     help="HBM capacity per NPU in GB")
+    mem.add_argument("--model-parallel-degree", type=int, default=1)
+    mem.set_defaults(func=_cmd_memory)
+
+    return root
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,36 @@
+"""Topology-aware collective communication algorithms (Sec. III-B/III-D)."""
+
+from repro.collectives.base import CollectiveAlgorithmBase
+from repro.collectives.context import CollectiveContext, PhaseStats
+from repro.collectives.direct_algorithms import (
+    DirectAllGather,
+    DirectAllReduce,
+    DirectAllToAll,
+    DirectReduceScatter,
+)
+from repro.collectives.hierarchical import ChunkExecution
+from repro.collectives.ring_algorithms import (
+    RingAllGather,
+    RingAllReduce,
+    RingAllToAll,
+    RingReduceScatter,
+)
+from repro.collectives.types import CollectiveOp, PhaseSpec, build_phase_plan
+
+__all__ = [
+    "ChunkExecution",
+    "CollectiveAlgorithmBase",
+    "CollectiveContext",
+    "CollectiveOp",
+    "DirectAllGather",
+    "DirectAllReduce",
+    "DirectAllToAll",
+    "DirectReduceScatter",
+    "PhaseSpec",
+    "PhaseStats",
+    "RingAllGather",
+    "RingAllReduce",
+    "RingAllToAll",
+    "RingReduceScatter",
+    "build_phase_plan",
+]

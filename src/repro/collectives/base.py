@@ -1,0 +1,112 @@
+"""Base machinery for per-node collective state machines.
+
+Every algorithm instance spans the nodes of one topology group for one
+chunk-phase.  Nodes *join* independently (a node joins a phase only when
+it finished the previous phase of that chunk), receives that land before
+the receiver has joined are buffered, and per-node completion is reported
+upward so the chunk coordinator can advance each node to its next phase
+without a global barrier — matching ASTRA-SIM's per-node stream
+progression.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.collectives.context import CollectiveContext
+from repro.errors import CollectiveError
+
+NodeDoneCallback = Callable[[int], None]
+AllDoneCallback = Callable[[], None]
+
+
+class CollectiveAlgorithmBase:
+    """Per-group, per-chunk-phase collective state machine."""
+
+    def __init__(
+        self,
+        ctx: CollectiveContext,
+        nodes: list[int],
+        size_bytes: float,
+        on_node_done: Optional[NodeDoneCallback] = None,
+        on_all_done: Optional[AllDoneCallback] = None,
+        phase_index: int = 0,
+        label: str = "",
+    ):
+        if len(nodes) < 2:
+            raise CollectiveError(f"collective needs >= 2 nodes, got {len(nodes)}")
+        if len(set(nodes)) != len(nodes):
+            raise CollectiveError(f"duplicate nodes in collective group: {nodes}")
+        if size_bytes <= 0:
+            raise CollectiveError(f"collective size must be positive: {size_bytes}")
+        self.ctx = ctx
+        self.nodes = list(nodes)
+        self.size_bytes = float(size_bytes)
+        self.on_node_done = on_node_done
+        self.on_all_done = on_all_done
+        self.phase_index = phase_index
+        self.label = label
+
+        self._joined: set[int] = set()
+        self._done: set[int] = set()
+        self._pending: dict[int, list] = {n: [] for n in nodes}
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start_node(self, node: int) -> None:
+        """``node`` joins this phase (its previous phase finished)."""
+        if node not in self._pending:
+            raise CollectiveError(f"node {node} is not part of {self.label or self!r}")
+        if node in self._joined:
+            raise CollectiveError(f"node {node} joined {self.label or self!r} twice")
+        self._joined.add(node)
+        if self.started_at is None:
+            self.started_at = self.ctx.now
+        self._on_join(node)
+        buffered, self._pending[node] = self._pending[node], []
+        for item in buffered:
+            self._process(node, item)
+
+    def start_all(self) -> None:
+        """Convenience for tests / single-phase runs: all nodes join now."""
+        for node in self.nodes:
+            self.start_node(node)
+
+    @property
+    def done(self) -> bool:
+        return len(self._done) == len(self.nodes)
+
+    def node_done(self, node: int) -> bool:
+        return node in self._done
+
+    # -- subclass protocol -------------------------------------------------------
+
+    def _on_join(self, node: int) -> None:
+        """Issue the node's initial sends.  Subclasses override."""
+        raise NotImplementedError
+
+    def _process(self, node: int, item: object) -> None:
+        """Handle one received item for a joined node.  Subclasses override."""
+        raise NotImplementedError
+
+    # -- helpers for subclasses ---------------------------------------------------
+
+    def _deliver(self, node: int, item: object) -> None:
+        """Route a received item to ``node``, buffering until it joins."""
+        if node in self._joined:
+            self._process(node, item)
+        else:
+            self._pending[node].append(item)
+
+    def _mark_done(self, node: int) -> None:
+        if node in self._done:
+            raise CollectiveError(f"node {node} completed {self.label or self!r} twice")
+        self._done.add(node)
+        if self.on_node_done is not None:
+            self.on_node_done(node)
+        if self.done:
+            self.finished_at = self.ctx.now
+            if self.on_all_done is not None:
+                self.on_all_done()

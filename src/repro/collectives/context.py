@@ -1,0 +1,103 @@
+"""Execution context shared by collective algorithm instances.
+
+Bundles the network backend with the system-layer constants every
+algorithm needs (endpoint delay, local-reduction rate, routing mode) and
+a stats sink used to build the Fig. 12b / Fig. 16 queue-vs-network delay
+breakdowns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.config.parameters import InjectionPolicy, PacketRouting
+from repro.errors import CollectiveError
+from repro.network.api import NetworkBackend
+from repro.network.link import Link
+from repro.network.message import Message
+
+
+@dataclass
+class PhaseStats:
+    """Accumulated message timing for one phase index across a run."""
+
+    messages: int = 0
+    queue_cycles: float = 0.0
+    network_cycles: float = 0.0
+    bytes: float = 0.0
+
+    def record(self, message: Message) -> None:
+        self.messages += 1
+        self.queue_cycles += message.queueing_cycles
+        self.network_cycles += message.network_cycles
+        self.bytes += message.size_bytes
+
+    @property
+    def mean_queue_cycles(self) -> float:
+        return self.queue_cycles / self.messages if self.messages else 0.0
+
+    @property
+    def mean_network_cycles(self) -> float:
+        return self.network_cycles / self.messages if self.messages else 0.0
+
+
+class CollectiveContext:
+    """Wiring between collective state machines and the platform.
+
+    ``reduction_cycles_per_kb`` is the layer's "local update time" from the
+    workload file (Fig. 8): the average cycles to reduce 1 KB of received
+    data.  ``endpoint_delay`` is Table III #13.
+    """
+
+    def __init__(
+        self,
+        backend: NetworkBackend,
+        endpoint_delay_cycles: float = 10.0,
+        reduction_cycles_per_kb: float = 1.0,
+        packet_routing: PacketRouting = PacketRouting.SOFTWARE,
+        injection_policy: InjectionPolicy = InjectionPolicy.NORMAL,
+        stats_sink: Optional[Callable[[int, Message], None]] = None,
+    ):
+        if endpoint_delay_cycles < 0:
+            raise CollectiveError("endpoint delay must be >= 0")
+        if reduction_cycles_per_kb < 0:
+            raise CollectiveError("reduction rate must be >= 0")
+        self.backend = backend
+        self.endpoint_delay_cycles = endpoint_delay_cycles
+        self.reduction_cycles_per_kb = reduction_cycles_per_kb
+        self.packet_routing = packet_routing
+        self.injection_policy = injection_policy
+        self.stats_sink = stats_sink
+
+    @property
+    def now(self) -> float:
+        return self.backend.now
+
+    def after(self, delay: float, callback: Callable[[], None]) -> None:
+        self.backend.schedule(delay, callback)
+
+    def reduction_cycles(self, size_bytes: float) -> float:
+        """Local-reduction delay for ``size_bytes`` of received data."""
+        return self.reduction_cycles_per_kb * size_bytes / 1024.0
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        size_bytes: float,
+        path: list[Link],
+        tag: object,
+        on_delivered: Callable[[Message], None],
+        phase_index: int = 0,
+    ) -> Message:
+        """Inject one message and record its timing under ``phase_index``."""
+        message = Message(src=src, dst=dst, size_bytes=size_bytes, tag=tag)
+
+        def delivered(msg: Message) -> None:
+            if self.stats_sink is not None:
+                self.stats_sink(phase_index, msg)
+            on_delivered(msg)
+
+        self.backend.send(message, path, delivered)
+        return message

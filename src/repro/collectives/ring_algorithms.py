@@ -1,0 +1,294 @@
+"""Ring collective algorithms (Sec. III-B, Fig. 5 left).
+
+All four collectives over one unidirectional :class:`RingChannel`.  Data
+sizes follow the paper's convention: an algorithm with input size ``S``
+on an ``n``-node ring exchanges messages of ``S/n`` (Table II: message
+count proportional to the number of nodes).
+
+* reduce-scatter — N-1 steps of send-to-next / reduce (Fig. 5).
+* all-gather — N-1 relay steps, no reduction.
+* all-reduce — reduce-scatter chained into all-gather.
+* all-to-all — N-1 rounds; round *i* targets the node at distance *i*,
+  relayed hop-by-hop under software routing (endpoint delay per relay) or
+  cut through the fabric under hardware routing (Table III #14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.collectives.base import (
+    AllDoneCallback,
+    CollectiveAlgorithmBase,
+    NodeDoneCallback,
+)
+from repro.collectives.context import CollectiveContext
+from repro.config.parameters import InjectionPolicy, PacketRouting
+from repro.errors import CollectiveError
+from repro.network.channel import RingChannel
+from repro.network.message import Message
+
+
+class RingReduceScatter(CollectiveAlgorithmBase):
+    """Ring reduce-scatter: after N-1 steps each node holds one globally
+    reduced segment of size ``size_bytes / n``."""
+
+    def __init__(
+        self,
+        ctx: CollectiveContext,
+        ring: RingChannel,
+        size_bytes: float,
+        on_node_done: Optional[NodeDoneCallback] = None,
+        on_all_done: Optional[AllDoneCallback] = None,
+        phase_index: int = 0,
+        label: str = "ring-rs",
+    ):
+        super().__init__(ctx, ring.nodes, size_bytes, on_node_done, on_all_done,
+                         phase_index, label)
+        self.ring = ring
+        self.message_bytes = self.size_bytes / ring.size
+
+    def _send_step(self, node: int, step: int) -> None:
+        nxt = self.ring.next_node(node)
+        self.ctx.send(
+            node, nxt, self.message_bytes,
+            path=self.ring.path(node, nxt),
+            tag=(self.label, step),
+            on_delivered=lambda msg, s=step: self._deliver(msg.dst, s),
+            phase_index=self.phase_index,
+        )
+
+    def _on_join(self, node: int) -> None:
+        self._send_step(node, 1)
+
+    def _process(self, node: int, step: int) -> None:
+        delay = self.ctx.endpoint_delay_cycles + self.ctx.reduction_cycles(self.message_bytes)
+        self.ctx.after(delay, lambda: self._after_reduce(node, step))
+
+    def _after_reduce(self, node: int, step: int) -> None:
+        if step < self.ring.size - 1:
+            self._send_step(node, step + 1)
+        else:
+            self._mark_done(node)
+
+
+class RingAllGather(CollectiveAlgorithmBase):
+    """Ring all-gather: each node starts with ``size_bytes / n`` and relays
+    until it holds all ``size_bytes``.  No reduction delay."""
+
+    def __init__(
+        self,
+        ctx: CollectiveContext,
+        ring: RingChannel,
+        size_bytes: float,
+        on_node_done: Optional[NodeDoneCallback] = None,
+        on_all_done: Optional[AllDoneCallback] = None,
+        phase_index: int = 0,
+        label: str = "ring-ag",
+    ):
+        super().__init__(ctx, ring.nodes, size_bytes, on_node_done, on_all_done,
+                         phase_index, label)
+        self.ring = ring
+        self.message_bytes = self.size_bytes / ring.size
+
+    def _send_step(self, node: int, step: int) -> None:
+        nxt = self.ring.next_node(node)
+        self.ctx.send(
+            node, nxt, self.message_bytes,
+            path=self.ring.path(node, nxt),
+            tag=(self.label, step),
+            on_delivered=lambda msg, s=step: self._deliver(msg.dst, s),
+            phase_index=self.phase_index,
+        )
+
+    def _on_join(self, node: int) -> None:
+        self._send_step(node, 1)
+
+    def _process(self, node: int, step: int) -> None:
+        self.ctx.after(
+            self.ctx.endpoint_delay_cycles,
+            lambda: self._after_receive(node, step),
+        )
+
+    def _after_receive(self, node: int, step: int) -> None:
+        if step < self.ring.size - 1:
+            self._send_step(node, step + 1)
+        else:
+            self._mark_done(node)
+
+
+class RingAllReduce:
+    """Ring all-reduce: reduce-scatter chained into all-gather on the same
+    channel (Sec. III-B: "all-reduce ... can be done using a reduce-scatter
+    followed by an all-gather").  Each node enters the all-gather stage as
+    soon as its own reduce-scatter role completes."""
+
+    def __init__(
+        self,
+        ctx: CollectiveContext,
+        ring: RingChannel,
+        size_bytes: float,
+        on_node_done: Optional[NodeDoneCallback] = None,
+        on_all_done: Optional[AllDoneCallback] = None,
+        phase_index: int = 0,
+        label: str = "ring-ar",
+    ):
+        self.nodes = list(ring.nodes)
+        self.size_bytes = float(size_bytes)
+        self._gather = RingAllGather(
+            ctx, ring, size_bytes,
+            on_node_done=on_node_done,
+            on_all_done=on_all_done,
+            phase_index=phase_index,
+            label=f"{label}/ag",
+        )
+        self._scatter = RingReduceScatter(
+            ctx, ring, size_bytes,
+            on_node_done=self._gather.start_node,
+            phase_index=phase_index,
+            label=f"{label}/rs",
+        )
+        self.label = label
+
+    def start_node(self, node: int) -> None:
+        self._scatter.start_node(node)
+
+    def start_all(self) -> None:
+        for node in self.nodes:
+            self.start_node(node)
+
+    @property
+    def done(self) -> bool:
+        return self._gather.done
+
+    def node_done(self, node: int) -> bool:
+        return self._gather.node_done(node)
+
+    @property
+    def started_at(self) -> Optional[float]:
+        return self._scatter.started_at
+
+    @property
+    def finished_at(self) -> Optional[float]:
+        return self._gather.finished_at
+
+
+@dataclass
+class _A2AReceive:
+    """A final (destination-reached) all-to-all message."""
+
+    origin: int
+
+
+class RingAllToAll(CollectiveAlgorithmBase):
+    """Ring all-to-all: N-1 rounds, round *i* sending ``size/n`` to the node
+    at downstream distance *i* (Sec. III-B).
+
+    Under software routing each hop terminates in the intermediate NPU's
+    messaging unit, pays the endpoint delay, and is re-injected; under
+    hardware routing the message cuts through the fabric along the whole
+    multi-link path.  Injection pacing follows Table III #15: NORMAL
+    issues round *i+1* once round *i*'s first hop is delivered; AGGRESSIVE
+    issues every round at join time.
+    """
+
+    def __init__(
+        self,
+        ctx: CollectiveContext,
+        ring: RingChannel,
+        size_bytes: float,
+        on_node_done: Optional[NodeDoneCallback] = None,
+        on_all_done: Optional[AllDoneCallback] = None,
+        phase_index: int = 0,
+        label: str = "ring-a2a",
+    ):
+        super().__init__(ctx, ring.nodes, size_bytes, on_node_done, on_all_done,
+                         phase_index, label)
+        self.ring = ring
+        self.message_bytes = self.size_bytes / ring.size
+        self._received: dict[int, int] = {n: 0 for n in ring.nodes}
+        self._rounds_issued: dict[int, int] = {n: 0 for n in ring.nodes}
+
+    # -- sending ----------------------------------------------------------------
+
+    def _issue_round(self, node: int, round_index: int) -> None:
+        final_dst = self.ring.node_at_distance(node, round_index)
+        self._rounds_issued[node] = round_index
+        if round_index == self.ring.size - 1 and node in self._joined:
+            # All receives may already have landed; re-check completion once
+            # the final round is on the wire.
+            self.ctx.after(0.0, lambda: self._maybe_done(node))
+        if self.ctx.packet_routing is PacketRouting.HARDWARE:
+            path = self.ring.path(node, final_dst)
+            self.ctx.send(
+                node, final_dst, self.message_bytes, path,
+                tag=(self.label, node, final_dst),
+                on_delivered=lambda msg: self._on_hop(msg, node, final_dst, round_index),
+                phase_index=self.phase_index,
+            )
+        else:
+            self._send_hop(node, node, final_dst, round_index)
+
+    def _send_hop(self, current: int, origin: int, final_dst: int, round_index: int) -> None:
+        nxt = self.ring.next_node(current)
+        self.ctx.send(
+            current, nxt, self.message_bytes,
+            path=self.ring.path(current, nxt),
+            tag=(self.label, origin, final_dst),
+            on_delivered=lambda msg: self._on_hop(msg, origin, final_dst, round_index),
+            phase_index=self.phase_index,
+        )
+
+    def _on_hop(self, message: Message, origin: int, final_dst: int, round_index: int) -> None:
+        here = message.dst
+        # NORMAL pacing: issue the origin's next round once this round has
+        # cleared its injection point — the first ring hop under software
+        # routing, full delivery under hardware routing (where _on_hop only
+        # fires at the destination).
+        first_hop_cleared = (
+            here == final_dst
+            if self.ctx.packet_routing is PacketRouting.HARDWARE
+            else here == self.ring.next_node(origin)
+        )
+        if (first_hop_cleared
+                and self.ctx.injection_policy is InjectionPolicy.NORMAL
+                and self._rounds_issued[origin] == round_index
+                and round_index < self.ring.size - 1):
+            self._issue_round(origin, round_index + 1)
+
+        if here == final_dst:
+            self.ctx.after(
+                self.ctx.endpoint_delay_cycles,
+                lambda: self._deliver(final_dst, _A2AReceive(origin)),
+            )
+        else:
+            # Relay: the intermediate messaging unit forwards without
+            # needing that node's own chunk data, so no join gating.
+            self.ctx.after(
+                self.ctx.endpoint_delay_cycles,
+                lambda: self._send_hop(here, origin, final_dst, round_index),
+            )
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def _on_join(self, node: int) -> None:
+        if self.ring.size < 2:  # pragma: no cover - guarded by RingChannel
+            raise CollectiveError("all-to-all needs a ring of >= 2 nodes")
+        if self.ctx.injection_policy is InjectionPolicy.AGGRESSIVE:
+            for r in range(1, self.ring.size):
+                self._issue_round(node, r)
+        else:
+            self._issue_round(node, 1)
+        self._maybe_done(node)
+
+    def _process(self, node: int, item: _A2AReceive) -> None:
+        self._received[node] += 1
+        self._maybe_done(node)
+
+    def _maybe_done(self, node: int) -> None:
+        wanted = self.ring.size - 1
+        if (self._received[node] == wanted
+                and self._rounds_issued[node] == wanted
+                and not self.node_done(node)):
+            self._mark_done(node)

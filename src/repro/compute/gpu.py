@@ -1,0 +1,98 @@
+"""An alternative GPU-style analytical compute model.
+
+Sec. IV-A: "it is possible to use alternate compute models ... or a GPU
+simulator as well".  This model follows the classic GPU roofline: a GEMM
+runs at ``min(peak_flops, tiles x sm_efficiency)`` bounded by HBM
+bandwidth, with a kernel-launch overhead per GEMM.  It exposes the same
+``estimate`` / ``layer_cycles`` interface as
+:class:`repro.compute.systolic.SystolicArrayModel`, so any model builder
+can swap it in via the ``compute=`` argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compute.gemm import GemmShape
+from repro.compute.systolic import ComputeEstimate
+from repro.config.units import Clock, DEFAULT_CLOCK
+from repro.errors import ConfigError, WorkloadError
+
+
+@dataclass(frozen=True)
+class GpuConfig:
+    """A V100-class default: ~125 TFLOP/s tensor cores, 900 GB/s HBM2."""
+
+    peak_tflops: float = 125.0
+    dram_bandwidth_gbps: float = 900.0
+    kernel_launch_cycles: float = 2000.0
+    #: Achievable fraction of peak for dense GEMMs.
+    mma_efficiency: float = 0.7
+    compute_scale: float = 1.0
+    bytes_per_element: int = 4
+
+    def __post_init__(self) -> None:
+        if self.peak_tflops <= 0:
+            raise ConfigError("peak_tflops must be positive")
+        if self.dram_bandwidth_gbps <= 0:
+            raise ConfigError("DRAM bandwidth must be positive")
+        if self.kernel_launch_cycles < 0:
+            raise ConfigError("kernel launch overhead must be >= 0")
+        if not 0 < self.mma_efficiency <= 1:
+            raise ConfigError("mma_efficiency must be in (0, 1]")
+        if self.compute_scale <= 0:
+            raise ConfigError("compute_scale must be positive")
+
+
+class GpuComputeModel:
+    """Roofline GPU model with per-kernel launch overhead."""
+
+    def __init__(self, config: GpuConfig | None = None,
+                 clock: Clock = DEFAULT_CLOCK):
+        self.config = config if config is not None else GpuConfig()
+        self.clock = clock
+        flops_per_second = self.config.peak_tflops * 1e12 * self.config.mma_efficiency
+        self._macs_per_cycle = flops_per_second / 2 / clock.frequency_hz
+        self._dram_bytes_per_cycle = clock.bandwidth_bytes_per_cycle(
+            self.config.dram_bandwidth_gbps)
+
+    def gemm_cycles(self, shape: GemmShape) -> float:
+        return shape.macs / self._macs_per_cycle
+
+    def io_cycles(self, io_bytes: float) -> float:
+        if io_bytes < 0:
+            raise WorkloadError(f"io_bytes must be >= 0: {io_bytes}")
+        return io_bytes / self._dram_bytes_per_cycle
+
+    def estimate(
+        self,
+        shapes: list[GemmShape] | GemmShape,
+        io_bytes: float | None = None,
+    ) -> ComputeEstimate:
+        if isinstance(shapes, GemmShape):
+            shapes = [shapes]
+        if not shapes:
+            raise WorkloadError("estimate() needs at least one GEMM shape")
+        scale = self.config.compute_scale
+        gemm = sum(self.gemm_cycles(s) for s in shapes) / scale
+        if io_bytes is not None:
+            dram = self.io_cycles(io_bytes) / scale
+        else:
+            dram = sum(
+                self.io_cycles(s.bytes_touched(self.config.bytes_per_element))
+                for s in shapes
+            ) / scale
+        stall = max(0.0, dram - gemm)
+        launches = len(shapes) * self.config.kernel_launch_cycles / scale
+        return ComputeEstimate(
+            gemm_cycles=gemm,
+            dram_stall_cycles=stall,
+            overhead_cycles=launches,
+        )
+
+    def layer_cycles(
+        self,
+        shapes: list[GemmShape] | GemmShape,
+        io_bytes: float | None = None,
+    ) -> float:
+        return self.estimate(shapes, io_bytes=io_bytes).total_cycles

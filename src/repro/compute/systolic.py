@@ -1,0 +1,119 @@
+"""Analytical systolic-array compute model (Sec. IV-A substitution).
+
+Models a TPU-like R x C output-stationary systolic array, in the style of
+the analytical simulators the paper cites ([12] SIGMA's analytical mode,
+[7] SCALE-sim).  A GEMM of (M x K) @ (K x N) is tiled into
+``ceil(M/R) * ceil(N/C)`` output tiles; each tile streams K partial sums
+through the array after a fill/drain of ``2R + C - 2`` cycles.
+
+On top of the GEMM delay the model adds (exactly as the paper describes
+its own usage): a parameterized per-layer delay for the non-GEMM parts of
+the layer, and a stall term when limited DRAM bandwidth cannot feed the
+array (roofline).  ``ComputeConfig.compute_scale`` scales effective
+throughput for the Fig. 18 compute-power sensitivity study.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.compute.gemm import GemmShape
+from repro.config.parameters import ComputeConfig
+from repro.config.units import Clock, DEFAULT_CLOCK
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class ComputeEstimate:
+    """The breakdown of one layer-phase's compute delay."""
+
+    gemm_cycles: float
+    dram_stall_cycles: float
+    overhead_cycles: float
+
+    @property
+    def total_cycles(self) -> float:
+        return self.gemm_cycles + self.dram_stall_cycles + self.overhead_cycles
+
+
+class SystolicArrayModel:
+    """Analytical delay model for a 256x256 TPU-like accelerator."""
+
+    def __init__(self, config: ComputeConfig, clock: Clock = DEFAULT_CLOCK):
+        self.config = config
+        self.clock = clock
+        self._dram_bytes_per_cycle = clock.bandwidth_bytes_per_cycle(
+            config.dram_bandwidth_gbps
+        )
+
+    def gemm_cycles(self, shape: GemmShape) -> float:
+        """Raw array cycles for one GEMM.
+
+        An idealized flexible dataflow in the spirit of SIGMA [12], the
+        paper's compute model: narrow output tiles are packed side by side
+        and deep accumulations are split across PEs through the flexible
+        reduction network, so the array sustains its full ``R*C``
+        MACs/cycle in the streaming phase; the pipeline fill/drain
+        ``2R + C - 2`` is paid once per GEMM (double-buffered tiles).
+        Quantization losses are folded into the per-layer non-GEMM
+        overhead.
+        """
+        rows, cols = self.config.array_rows, self.config.array_cols
+        fill_drain = 2 * rows + cols - 2
+        return fill_drain + math.ceil(shape.macs / (rows * cols))
+
+    def dram_cycles(self, shape: GemmShape) -> float:
+        """Cycles to stream the GEMM operands/results from/to DRAM."""
+        bytes_touched = shape.bytes_touched(self.config.bytes_per_element)
+        return bytes_touched / self._dram_bytes_per_cycle
+
+    def io_cycles(self, io_bytes: float) -> float:
+        """Cycles to stream an explicit byte count from/to DRAM (used when
+        the caller knows the real tensor sizes — im2col-expanded GEMM
+        operands overcount convolution input reuse by the kernel area)."""
+        if io_bytes < 0:
+            raise WorkloadError(f"io_bytes must be >= 0: {io_bytes}")
+        return io_bytes / self._dram_bytes_per_cycle
+
+    def estimate(
+        self,
+        shapes: list[GemmShape] | GemmShape,
+        io_bytes: float | None = None,
+    ) -> ComputeEstimate:
+        """Layer-phase delay: max(GEMM, DRAM) roofline + fixed overhead,
+        all divided by ``compute_scale`` (Fig. 18 scales the NPU's whole
+        effective compute power).
+
+        A layer phase may consist of several GEMMs (e.g. the Q/K/V
+        projections of one attention layer); they execute back to back.
+        ``io_bytes`` overrides the DRAM traffic estimate with the caller's
+        actual tensor footprint.
+        """
+        if isinstance(shapes, GemmShape):
+            shapes = [shapes]
+        if not shapes:
+            raise WorkloadError("estimate() needs at least one GEMM shape")
+        # gemm_cycles are NPU core cycles; timing below is in network
+        # cycles, hence the clock_ghz division.  compute_scale scales the
+        # whole accelerator (array + memory system) for Fig. 18.
+        scale = self.config.compute_scale
+        gemm = sum(self.gemm_cycles(s) for s in shapes) / self.config.clock_ghz / scale
+        if io_bytes is not None:
+            dram = self.io_cycles(io_bytes) / scale
+        else:
+            dram = sum(self.dram_cycles(s) for s in shapes) / scale
+        stall = max(0.0, dram - gemm)
+        return ComputeEstimate(
+            gemm_cycles=gemm,
+            dram_stall_cycles=stall,
+            overhead_cycles=self.config.non_gemm_overhead_cycles / scale,
+        )
+
+    def layer_cycles(
+        self,
+        shapes: list[GemmShape] | GemmShape,
+        io_bytes: float | None = None,
+    ) -> float:
+        """Convenience: total cycles of :meth:`estimate`."""
+        return self.estimate(shapes, io_bytes=io_bytes).total_cycles

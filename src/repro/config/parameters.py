@@ -1,0 +1,309 @@
+"""Simulator parameter dataclasses.
+
+These mirror the ASTRA-SIM input parameters of Table III and the system
+parameters of Table IV in the paper.  Everything is validated eagerly at
+construction so that a bad configuration fails before a long simulation
+starts.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.config.units import Clock, DEFAULT_CLOCK
+from repro.errors import ConfigError
+
+
+class CollectiveAlgorithm(enum.Enum):
+    """Table III #3: the multi-phase collective composition.
+
+    ``BASELINE`` runs a full collective on every dimension in turn (e.g.
+    ring all-reduce per dimension).  ``ENHANCED`` exploits asymmetric
+    bandwidth: reduce-scatter on the local dimension, all-reduce on the
+    inter-package dimensions, all-gather on the local dimension
+    (Sec. III-D).
+    """
+
+    BASELINE = "baseline"
+    ENHANCED = "enhanced"
+
+
+class SchedulingPolicy(enum.Enum):
+    """Table III #7: the order collectives are taken from the ready queue.
+
+    ``PRIORITY`` is the extension Sec. III-E motivates: "further
+    prioritizing and completing the first layers' communication operations
+    before communication operations from later layers even though they
+    were issued earlier" — chunks of lower-numbered layers always go
+    first (FIFO among equals).
+    """
+
+    LIFO = "LIFO"
+    FIFO = "FIFO"
+    PRIORITY = "PRIORITY"
+
+
+class TopologyKind(enum.Enum):
+    """Table III #8: the logical topology family."""
+
+    TORUS = "Torus"
+    ALLTOALL = "AllToAll"
+
+
+class PacketRouting(enum.Enum):
+    """Table III #14: software routing relays at intermediate endpoints;
+    hardware routing forwards inside the fabric without NPU involvement."""
+
+    SOFTWARE = "software"
+    HARDWARE = "hardware"
+
+
+class InjectionPolicy(enum.Enum):
+    """Table III #15: how aggressively messages are injected with hardware
+    routing (aggressive = all at once, normal = paced)."""
+
+    AGGRESSIVE = "aggressive"
+    NORMAL = "normal"
+
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """One class of physical link (intra-package or inter-package).
+
+    Bandwidth is quoted in GB/s as in Table IV; ``efficiency`` is the
+    data-flit / (data+header-flit) ratio (Table III #17/#18), and
+    ``packet_size_bytes`` bounds network-layer packetization.
+    """
+
+    bandwidth_gbps: float
+    latency_cycles: float
+    packet_size_bytes: int
+    efficiency: float = 0.94
+    #: Table IV "Message size": collective payloads move as fixed-size
+    #: network messages; each quantum pays ``quantum_overhead_cycles`` of
+    #: messaging-unit processing at the receiving endpoint (Table IV
+    #: "Endpoint delay"), which serializes with the link stream under the
+    #: software-routed / on-load endpoint design of Sec. V.  ``None``
+    #: disables per-quantum overheads (idealized link).
+    message_quantum_bytes: Optional[int] = 512
+    quantum_overhead_cycles: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbps <= 0:
+            raise ConfigError(f"link bandwidth must be positive: {self.bandwidth_gbps}")
+        if self.latency_cycles < 0:
+            raise ConfigError(f"link latency must be >= 0: {self.latency_cycles}")
+        if self.packet_size_bytes <= 0:
+            raise ConfigError(f"packet size must be positive: {self.packet_size_bytes}")
+        if not 0 < self.efficiency <= 1:
+            raise ConfigError(f"link efficiency must be in (0, 1]: {self.efficiency}")
+        if self.message_quantum_bytes is not None and self.message_quantum_bytes <= 0:
+            raise ConfigError(
+                f"message quantum must be positive: {self.message_quantum_bytes}"
+            )
+        if self.quantum_overhead_cycles < 0:
+            raise ConfigError("quantum overhead must be >= 0")
+
+    def effective_bytes_per_cycle(self, clock: Clock = DEFAULT_CLOCK) -> float:
+        """Usable payload bandwidth after header overhead (wire rate only;
+        per-quantum endpoint processing is added by serialization_cycles)."""
+        return clock.bandwidth_bytes_per_cycle(self.bandwidth_gbps) * self.efficiency
+
+    def serialization_cycles(self, size_bytes: float, clock: Clock = DEFAULT_CLOCK) -> float:
+        """Cycles to push ``size_bytes`` of payload through this link and
+        its receiving messaging unit (per-quantum processing included)."""
+        if size_bytes < 0:
+            raise ConfigError(f"message size must be >= 0: {size_bytes}")
+        wire = size_bytes / self.effective_bytes_per_cycle(clock)
+        if self.message_quantum_bytes is None or size_bytes == 0:
+            return wire
+        quanta = -(-size_bytes // self.message_quantum_bytes)
+        return wire + quanta * self.quantum_overhead_cycles
+
+    def scaled(self, factor: float) -> "LinkConfig":
+        """A copy with bandwidth multiplied by ``factor`` (asymmetry studies)."""
+        if factor <= 0:
+            raise ConfigError(f"bandwidth scale factor must be positive: {factor}")
+        return replace(self, bandwidth_gbps=self.bandwidth_gbps * factor)
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Garnet-level parameters (Table III #17-#28) plus both link classes."""
+
+    local_link: LinkConfig
+    package_link: LinkConfig
+    flit_width_bits: int = 1024
+    router_latency_cycles: float = 1.0
+    vcs_per_vnet: int = 50
+    buffers_per_vc: int = 5000
+    switch_latency_cycles: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.flit_width_bits <= 0:
+            raise ConfigError(f"flit width must be positive: {self.flit_width_bits}")
+        if self.router_latency_cycles < 0:
+            raise ConfigError("router latency must be >= 0")
+        if self.vcs_per_vnet <= 0:
+            raise ConfigError("vcs_per_vnet must be positive")
+        if self.buffers_per_vc <= 0:
+            raise ConfigError("buffers_per_vc must be positive")
+
+    @property
+    def flit_width_bytes(self) -> int:
+        return self.flit_width_bits // 8
+
+
+@dataclass(frozen=True)
+class TorusShape:
+    """An M x N x K hierarchical torus (Sec. III-C terminology).
+
+    ``local`` (M) counts NAMs per package on the intra-package rings;
+    ``horizontal`` (N) and ``vertical`` (K) are inter-package ring sizes.
+    A 1D ring of eight packages is ``TorusShape(1, 8, 1)``; the paper's
+    headline asymmetric system is ``TorusShape(4, 4, 4)``.
+    """
+
+    local: int
+    horizontal: int
+    vertical: int
+
+    def __post_init__(self) -> None:
+        for name, value in (
+            ("local", self.local),
+            ("horizontal", self.horizontal),
+            ("vertical", self.vertical),
+        ):
+            if value < 1:
+                raise ConfigError(f"torus {name} dimension must be >= 1, got {value}")
+
+    @property
+    def num_npus(self) -> int:
+        return self.local * self.horizontal * self.vertical
+
+    @property
+    def num_packages(self) -> int:
+        return self.horizontal * self.vertical
+
+    def __str__(self) -> str:
+        return f"{self.local}x{self.horizontal}x{self.vertical}"
+
+
+@dataclass(frozen=True)
+class AllToAllShape:
+    """An M x N hierarchical alltoall: M NAMs per package, N packages
+    fully connected through global switches (Sec. III-C)."""
+
+    local: int
+    packages: int
+
+    def __post_init__(self) -> None:
+        if self.local < 1:
+            raise ConfigError(f"alltoall local dimension must be >= 1, got {self.local}")
+        if self.packages < 2:
+            raise ConfigError(
+                f"alltoall needs at least 2 packages, got {self.packages}"
+            )
+
+    @property
+    def num_npus(self) -> int:
+        return self.local * self.packages
+
+    def __str__(self) -> str:
+        return f"{self.local}x{self.packages}"
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """System-layer parameters (Table III #3-#16)."""
+
+    topology: TopologyKind = TopologyKind.TORUS
+    algorithm: CollectiveAlgorithm = CollectiveAlgorithm.BASELINE
+    scheduling_policy: SchedulingPolicy = SchedulingPolicy.LIFO
+    local_rings: int = 2
+    vertical_rings: int = 2
+    horizontal_rings: int = 2
+    global_switches: int = 2
+    endpoint_delay_cycles: float = 10.0
+    packet_routing: PacketRouting = PacketRouting.SOFTWARE
+    injection_policy: InjectionPolicy = InjectionPolicy.NORMAL
+    preferred_set_splits: int = 16
+    #: Dispatcher threshold T: issue new chunks when in-flight first-phase
+    #: chunks drop below this (Sec. IV-B / Fig. 7).
+    dispatch_threshold: int = 8
+    #: Dispatcher issue count P: how many chunks to issue at once.
+    dispatch_batch: int = 16
+    #: Average cycles to reduce 1 KB of received data (Fig. 8 "local update").
+    reduction_cycles_per_kb: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("local_rings", "vertical_rings", "horizontal_rings", "global_switches"):
+            if getattr(self, name) < 1:
+                raise ConfigError(f"{name} must be >= 1, got {getattr(self, name)}")
+        if self.endpoint_delay_cycles < 0:
+            raise ConfigError("endpoint delay must be >= 0")
+        if self.preferred_set_splits < 1:
+            raise ConfigError("preferred_set_splits must be >= 1")
+        if self.dispatch_threshold < 1:
+            raise ConfigError("dispatch_threshold must be >= 1")
+        if self.dispatch_batch < 1:
+            raise ConfigError("dispatch_batch must be >= 1")
+        if self.reduction_cycles_per_kb < 0:
+            raise ConfigError("reduction_cycles_per_kb must be >= 0")
+
+
+@dataclass(frozen=True)
+class ComputeConfig:
+    """Parameters of the analytical NPU compute model (Sec. IV-A).
+
+    The paper models a 256x256 TPU-like systolic array fed from HBM, with
+    parameterized delays covering the non-GEMM parts of each layer and
+    stalls from limited DRAM bandwidth.  ``compute_scale`` multiplies
+    effective compute power for the Fig. 18 sensitivity study.
+    """
+
+    array_rows: int = 256
+    array_cols: int = 256
+    dram_bandwidth_gbps: float = 3600.0
+    non_gemm_overhead_cycles: float = 1000.0
+    compute_scale: float = 1.0
+    bytes_per_element: int = 4
+    #: NPU core clock relative to the 1 GHz network clock: TPU-class
+    #: accelerators run their MXU around 1-2 GHz, while all simulator
+    #: timing is in network cycles.  Array cycles are divided by this.
+    clock_ghz: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.array_rows < 1 or self.array_cols < 1:
+            raise ConfigError("systolic array dimensions must be >= 1")
+        if self.clock_ghz <= 0:
+            raise ConfigError("compute clock must be positive")
+        if self.dram_bandwidth_gbps <= 0:
+            raise ConfigError("DRAM bandwidth must be positive")
+        if self.non_gemm_overhead_cycles < 0:
+            raise ConfigError("non-GEMM overhead must be >= 0")
+        if self.compute_scale <= 0:
+            raise ConfigError("compute_scale must be positive")
+        if self.bytes_per_element < 1:
+            raise ConfigError("bytes_per_element must be >= 1")
+
+    def scaled(self, factor: float) -> "ComputeConfig":
+        """A copy with ``compute_scale`` multiplied by ``factor``."""
+        return replace(self, compute_scale=self.compute_scale * factor)
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """The full bundle handed to a simulation run."""
+
+    system: SystemConfig = field(default_factory=SystemConfig)
+    network: Optional[NetworkConfig] = None
+    compute: ComputeConfig = field(default_factory=ComputeConfig)
+    clock: Clock = field(default_factory=Clock)
+    num_passes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_passes < 1:
+            raise ConfigError(f"num_passes must be >= 1, got {self.num_passes}")

@@ -1,0 +1,45 @@
+"""Topology dimension names shared by the physical and logical layers."""
+
+from __future__ import annotations
+
+import enum
+
+
+class Dimension(enum.Enum):
+    """Topology dimensions of the hierarchical fabrics.
+
+    ``LOCAL`` is the intra-package dimension (fast NAM links); ``VERTICAL``
+    and ``HORIZONTAL`` are inter-package ring dimensions of the torus;
+    ``ALLTOALL`` is the switch-based inter-package dimension of the
+    hierarchical alltoall topology.  Collective phases traverse dimensions
+    in the order local -> vertical -> horizontal (Sec. III-D).
+
+    ``FOURTH``/``FIFTH`` extend the torus to the 4D/5D shapes the paper
+    names as future work; ``SCALEOUT`` is an outermost dimension over
+    scale-out (Ethernet/InfiniBand-class) links, the paper's planned
+    scale-out extension.  They traverse after the scale-up dimensions.
+    """
+
+    LOCAL = "local"
+    VERTICAL = "vertical"
+    HORIZONTAL = "horizontal"
+    FOURTH = "fourth"
+    FIFTH = "fifth"
+    ALLTOALL = "alltoall"
+    SCALEOUT = "scaleout"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Collective traversal order: innermost (fastest links) first, so
+#: reduce-scatter shrinks data before it reaches the slowest dimension.
+TRAVERSAL_ORDER = (
+    Dimension.LOCAL,
+    Dimension.VERTICAL,
+    Dimension.HORIZONTAL,
+    Dimension.FOURTH,
+    Dimension.FIFTH,
+    Dimension.ALLTOALL,
+    Dimension.SCALEOUT,
+)

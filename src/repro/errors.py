@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro (ASTRA-SIM reproduction) package.
+
+All exceptions raised by this library derive from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+letting genuine programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent simulator configuration."""
+
+
+class TopologyError(ReproError):
+    """A malformed physical or logical topology, or an invalid mapping."""
+
+
+class NetworkError(ReproError):
+    """A network-layer failure (unroutable message, bad endpoint, ...)."""
+
+
+class CollectiveError(ReproError):
+    """An invalid collective request or a broken collective state machine."""
+
+
+class SchedulerError(ReproError):
+    """A system-layer scheduling invariant was violated."""
+
+
+class WorkloadError(ReproError):
+    """A malformed workload description or training-loop failure."""
+
+
+class SimulationError(ReproError):
+    """The event engine detected an inconsistency (e.g. time moving backwards)."""

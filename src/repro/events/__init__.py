@@ -1,0 +1,17 @@
+"""Discrete-event simulation engine (the paper's event-driven execution model)."""
+
+from repro.events.engine import (
+    CountdownBarrier,
+    EventCallback,
+    EventHandle,
+    EventQueue,
+    Timeline,
+)
+
+__all__ = [
+    "CountdownBarrier",
+    "EventCallback",
+    "EventHandle",
+    "EventQueue",
+    "Timeline",
+]

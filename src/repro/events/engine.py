@@ -1,0 +1,218 @@
+"""Discrete-event simulation engine.
+
+ASTRA-SIM uses an event-driven execution model with a single event queue
+implemented in the system layer and exposed upwards to the workload layer
+(Sec. IV of the paper).  This module provides that queue: a classic
+calendar built on a binary heap, with stable FIFO ordering for events
+scheduled at the same timestamp.
+
+Time is kept in floating-point *cycles*.  The mapping between cycles and
+wall-clock seconds is owned by the configuration layer (``ClockConfig``),
+not by the engine.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+EventCallback = Callable[[], None]
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    """Internal heap entry.
+
+    Ordered by (time, sequence) so that events scheduled for the same time
+    fire in the order they were scheduled (deterministic FIFO tie-break).
+    """
+
+    time: float
+    seq: int
+    callback: EventCallback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`EventQueue.schedule`; allows cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent):
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """The simulated time at which the event will fire."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent; lazy removal."""
+        self._event.cancelled = True
+
+
+class EventQueue:
+    """A deterministic discrete-event queue.
+
+    >>> q = EventQueue()
+    >>> fired = []
+    >>> _ = q.schedule_at(5.0, lambda: fired.append("a"))
+    >>> _ = q.schedule_at(2.0, lambda: fired.append("b"))
+    >>> q.run()
+    >>> fired
+    ['b', 'a']
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[_ScheduledEvent] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._events_processed = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in cycles."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events executed so far."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still in the queue (including cancelled ones)."""
+        return len(self._heap)
+
+    def schedule_at(self, time: float, callback: EventCallback) -> EventHandle:
+        """Schedule ``callback`` to fire at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={time} before current time t={self._now}"
+            )
+        event = _ScheduledEvent(time=time, seq=next(self._seq), callback=callback)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def schedule(self, delay: float, callback: EventCallback) -> EventHandle:
+        """Schedule ``callback`` to fire ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.schedule_at(self._now + delay, callback)
+
+    def step(self) -> bool:
+        """Execute the single next non-cancelled event.
+
+        Returns ``True`` if an event was executed, ``False`` if the queue
+        was empty (or contained only cancelled events).
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run until the queue drains, ``until`` is reached, or ``max_events``.
+
+        ``until`` is an inclusive horizon: events at exactly ``until`` fire.
+        ``max_events`` guards against runaway simulations.
+        """
+        if self._running:
+            raise SimulationError("EventQueue.run() is not re-entrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._heap:
+                head = self._heap[0]
+                if head.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and head.time > until:
+                    self._now = until
+                    return
+                if max_events is not None and executed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} (possible livelock)"
+                    )
+                if self.step():
+                    executed += 1
+        finally:
+            self._running = False
+
+    def reset(self) -> None:
+        """Drop all pending events and rewind the clock to zero."""
+        self._heap.clear()
+        self._now = 0.0
+        self._events_processed = 0
+
+
+class Timeline:
+    """A tiny convenience wrapper pairing an :class:`EventQueue` with helpers
+    commonly needed by simulation components (barriers, deferred calls).
+    """
+
+    def __init__(self, queue: Optional[EventQueue] = None):
+        self.queue = queue if queue is not None else EventQueue()
+
+    @property
+    def now(self) -> float:
+        return self.queue.now
+
+    def after(self, delay: float, callback: EventCallback) -> EventHandle:
+        return self.queue.schedule(delay, callback)
+
+    def call_soon(self, callback: EventCallback) -> EventHandle:
+        """Schedule ``callback`` at the current time (after in-flight events)."""
+        return self.queue.schedule(0.0, callback)
+
+
+class CountdownBarrier:
+    """Fires ``on_done`` once :meth:`arrive` has been called ``count`` times.
+
+    Used by collective state machines to wait for N concurrent completions
+    (e.g. the N-1 simultaneous receives of a direct alltoall step).
+    """
+
+    def __init__(self, count: int, on_done: EventCallback):
+        if count < 0:
+            raise SimulationError(f"barrier count must be >= 0, got {count}")
+        self._remaining = count
+        self._on_done = on_done
+        self._fired = False
+        if count == 0:
+            self._fire()
+
+    @property
+    def remaining(self) -> int:
+        return self._remaining
+
+    @property
+    def done(self) -> bool:
+        return self._fired
+
+    def arrive(self, _result: Any = None) -> None:
+        if self._fired:
+            raise SimulationError("arrive() after barrier already fired")
+        self._remaining -= 1
+        if self._remaining == 0:
+            self._fire()
+        elif self._remaining < 0:  # pragma: no cover - guarded above
+            raise SimulationError("barrier over-arrived")
+
+    def _fire(self) -> None:
+        self._fired = True
+        self._on_done()

@@ -1,0 +1,58 @@
+"""Per-figure experiment runners regenerating the paper's evaluation."""
+
+from repro.harness import (
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    fig17,
+    fig18,
+)
+from repro.harness.bandwidth_test import (
+    BandwidthPoint,
+    format_points,
+    measure,
+    traffic_factor,
+)
+from repro.harness.sweep import SweepResult, sweep
+from repro.harness.runners import (
+    SWEEP_SIZES,
+    CollectiveResult,
+    PlatformSpec,
+    alltoall_platform,
+    run_collective,
+    run_training,
+    sweep_collective,
+    torus_platform,
+)
+
+__all__ = [
+    "BandwidthPoint",
+    "CollectiveResult",
+    "SweepResult",
+    "format_points",
+    "measure",
+    "sweep",
+    "traffic_factor",
+    "PlatformSpec",
+    "SWEEP_SIZES",
+    "alltoall_platform",
+    "fig09",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "run_collective",
+    "run_training",
+    "sweep_collective",
+    "torus_platform",
+]

@@ -1,0 +1,82 @@
+"""Collective bandwidth test (the "bandwidth test" of Sec. V).
+
+Reports, per collective and message size, the figures every collective
+benchmark suite prints:
+
+* latency — set request to completion (cycles),
+* algorithm bandwidth (algbw) — payload bytes / time,
+* bus bandwidth (busbw) — algbw scaled by the collective's traffic
+  factor (2(n-1)/n for all-reduce, (n-1)/n for reduce-scatter,
+  all-gather and all-to-all), comparable against raw link bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.collectives.types import CollectiveOp
+from repro.errors import CollectiveError
+from repro.harness.runners import MAX_EVENTS, PlatformSpec
+
+
+@dataclass(frozen=True)
+class BandwidthPoint:
+    """One (collective, size) measurement."""
+
+    op: CollectiveOp
+    size_bytes: float
+    latency_cycles: float
+    algbw_bytes_per_cycle: float
+    busbw_bytes_per_cycle: float
+
+
+def traffic_factor(op: CollectiveOp, n: int) -> float:
+    """Per-node traffic as a multiple of the payload (nccl-tests style)."""
+    if n < 2:
+        raise CollectiveError(f"need >= 2 nodes, got {n}")
+    if op is CollectiveOp.ALL_REDUCE:
+        return 2.0 * (n - 1) / n
+    if op in (CollectiveOp.REDUCE_SCATTER, CollectiveOp.ALL_GATHER,
+              CollectiveOp.ALL_TO_ALL):
+        return (n - 1) / n
+    raise CollectiveError(f"no traffic factor for {op}")
+
+
+def measure(
+    platform_builder: Callable[[], PlatformSpec],
+    op: CollectiveOp,
+    sizes: Sequence[float],
+) -> list[BandwidthPoint]:
+    """Run the bandwidth test: one fresh platform per point."""
+    points = []
+    for size in sizes:
+        platform = platform_builder()
+        system = platform.build_system()
+        collective = system.request_collective(op, size)
+        system.run_until_idle(max_events=MAX_EVENTS)
+        latency = collective.duration_cycles
+        algbw = size / latency
+        busbw = algbw * traffic_factor(op, system.topology.num_npus)
+        points.append(BandwidthPoint(
+            op=op,
+            size_bytes=size,
+            latency_cycles=latency,
+            algbw_bytes_per_cycle=algbw,
+            busbw_bytes_per_cycle=busbw,
+        ))
+    return points
+
+
+def format_points(points: Sequence[BandwidthPoint]) -> str:
+    """An nccl-tests style table (bandwidths in bytes/cycle = GB/s at the
+    default 1 GHz clock)."""
+    header = (f"{'size (B)':>12} {'latency (cyc)':>16} "
+              f"{'algbw (B/cyc)':>15} {'busbw (B/cyc)':>15}")
+    lines = [header, "-" * len(header)]
+    for p in points:
+        lines.append(
+            f"{p.size_bytes:>12,.0f} {p.latency_cycles:>16,.1f} "
+            f"{p.algbw_bytes_per_cycle:>15.2f} {p.busbw_bytes_per_cycle:>15.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Fig. 9 — 1D topology: alltoall vs. Torus for all-to-all and all-reduce.
+
+Setup (Sec. V-A): 8 packages, one NAM each.  The alltoall topology gives
+each NAM one link per peer through 7 global switches (one of the 8 links
+unused); the torus is a 1D ring with four links per peer NAM (four
+bidirectional rings).  Both sweep the collective payload size.
+
+Expected shape: the alltoall topology always wins the all-to-all
+collective, with the gap shrinking as messages grow; for all-reduce the
+torus overtakes at large messages (it uses all 8 links and pipelines
+chunks across rings, while alltoall drives only 7 links).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.collectives.types import CollectiveOp
+from repro.config.parameters import AllToAllShape, TorusShape
+from repro.harness.runners import (
+    SWEEP_SIZES,
+    CollectiveResult,
+    alltoall_platform,
+    sweep_collective,
+    torus_platform,
+)
+
+PACKAGES = 8
+
+
+@dataclass
+class Figure9Result:
+    collective: CollectiveOp
+    alltoall: list[CollectiveResult]
+    torus: list[CollectiveResult]
+
+    def rows(self) -> list[dict[str, float]]:
+        out = []
+        for a, t in zip(self.alltoall, self.torus):
+            out.append({
+                "size_bytes": a.size_bytes,
+                "alltoall_cycles": a.duration_cycles,
+                "torus_cycles": t.duration_cycles,
+                "torus_over_alltoall": t.duration_cycles / a.duration_cycles,
+            })
+        return out
+
+
+def _alltoall():
+    """1x8 alltoall: 7 switches so every peer pair has a dedicated link."""
+    return alltoall_platform(
+        AllToAllShape(local=1, packages=PACKAGES),
+        global_switches=PACKAGES - 1,
+    )
+
+
+def _torus():
+    """1x8x1 ring: four bidirectional rings = four links per peer NAM."""
+    return torus_platform(
+        TorusShape(local=1, horizontal=PACKAGES, vertical=1),
+        horizontal_rings=4,
+    )
+
+
+def run(sizes: Sequence[float] = SWEEP_SIZES,
+        collective: CollectiveOp = CollectiveOp.ALL_REDUCE) -> Figure9Result:
+    """Run one of the two Fig. 9 panels ((a) all-to-all, (b) all-reduce)."""
+    return Figure9Result(
+        collective=collective,
+        alltoall=sweep_collective(_alltoall, collective, sizes),
+        torus=sweep_collective(_torus, collective, sizes),
+    )
+
+
+def run_both(sizes: Sequence[float] = SWEEP_SIZES) -> dict[str, Figure9Result]:
+    return {
+        "all_to_all": run(sizes, CollectiveOp.ALL_TO_ALL),
+        "all_reduce": run(sizes, CollectiveOp.ALL_REDUCE),
+    }

@@ -1,0 +1,86 @@
+"""Fig. 11 — asymmetric hierarchical topology on 64 modules (4 NAM x 16 NAP).
+
+Setup (Sec. V-C): a 4x4x4 torus with two unidirectional rings inside each
+package and four bidirectional rings across packages (two per inter
+dimension).  Three systems are compared:
+
+* symmetric — local links equal the 25 GB/s inter-package links,
+* asymmetric + baseline — 8x local bandwidth, three-phase per-dimension
+  ring all-reduce,
+* asymmetric + enhanced — the four-phase algorithm (local reduce-scatter,
+  inter-package all-reduce on 1/4 of the data, local all-gather).
+
+Expected shape: asymmetric beats symmetric substantially; the enhanced
+algorithm improves further by cutting inter-package volume 4x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.collectives.types import CollectiveOp
+from repro.config.parameters import CollectiveAlgorithm, TorusShape
+from repro.harness.runners import (
+    SWEEP_SIZES,
+    CollectiveResult,
+    sweep_collective,
+    torus_platform,
+)
+
+SHAPE = TorusShape(local=4, horizontal=4, vertical=4)
+
+
+@dataclass
+class Figure11Result:
+    collective: CollectiveOp
+    symmetric: list[CollectiveResult]
+    asymmetric_baseline: list[CollectiveResult]
+    asymmetric_enhanced: list[CollectiveResult]
+
+    def rows(self) -> list[dict[str, float]]:
+        out = []
+        for s, ab, ae in zip(self.symmetric, self.asymmetric_baseline,
+                             self.asymmetric_enhanced):
+            out.append({
+                "size_bytes": s.size_bytes,
+                "symmetric_cycles": s.duration_cycles,
+                "asym_baseline_cycles": ab.duration_cycles,
+                "asym_enhanced_cycles": ae.duration_cycles,
+                "asym_speedup": s.duration_cycles / ab.duration_cycles,
+                "enhanced_speedup": ab.duration_cycles / ae.duration_cycles,
+            })
+        return out
+
+
+def _platform(symmetric: bool, algorithm: CollectiveAlgorithm):
+    return torus_platform(
+        SHAPE,
+        algorithm=algorithm,
+        symmetric=symmetric,
+        local_rings=2,
+        horizontal_rings=2,
+        vertical_rings=2,
+    )
+
+
+def run(
+    sizes: Sequence[float] = SWEEP_SIZES,
+    collective: CollectiveOp = CollectiveOp.ALL_REDUCE,
+) -> Figure11Result:
+    return Figure11Result(
+        collective=collective,
+        symmetric=sweep_collective(
+            lambda: _platform(True, CollectiveAlgorithm.BASELINE), collective, sizes),
+        asymmetric_baseline=sweep_collective(
+            lambda: _platform(False, CollectiveAlgorithm.BASELINE), collective, sizes),
+        asymmetric_enhanced=sweep_collective(
+            lambda: _platform(False, CollectiveAlgorithm.ENHANCED), collective, sizes),
+    )
+
+
+def run_both(sizes: Sequence[float] = SWEEP_SIZES) -> dict[str, Figure11Result]:
+    return {
+        "all_reduce": run(sizes, CollectiveOp.ALL_REDUCE),
+        "all_to_all": run(sizes, CollectiveOp.ALL_TO_ALL),
+    }

@@ -1,0 +1,66 @@
+"""Fig. 12 — scaling the Torus from 8 to 64 modules, with the queue and
+network delay breakdown of the 4-phase all-reduce.
+
+Setup (Sec. V-D): asymmetric tori 2x2x2, 2x4x2, 2x4x4 and 2x4x8 running
+the enhanced (4-phase) all-reduce.  Reported per shape: total
+communication time (Fig. 12a) and the mean Queue P0-P4 / Network P1-P4
+delays (Fig. 12b).
+
+Expected shape: time grows with module count, but slows between 16
+(2x4x2) and 32 (2x4x4) modules — the bottleneck ring size stays 4, only
+shifting from horizontal to vertical (visible as Queue P2 becoming
+dominant at 2x4x4) — then jumps again at 2x4x8 (a new ring of 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.collectives.types import CollectiveOp
+from repro.config.parameters import CollectiveAlgorithm, TorusShape
+from repro.config.units import MB
+from repro.harness.runners import CollectiveResult, run_collective, torus_platform
+
+SHAPES = (
+    TorusShape(2, 2, 2),
+    TorusShape(2, 4, 2),
+    TorusShape(2, 4, 4),
+    TorusShape(2, 4, 8),
+)
+
+DEFAULT_SIZE = 2 * MB
+
+
+@dataclass
+class Figure12Result:
+    size_bytes: float
+    results: list[CollectiveResult]
+
+    def total_rows(self) -> list[dict[str, float]]:
+        """Fig. 12a: total communication time per shape."""
+        return [
+            {"shape": r.label, "modules": r.num_npus, "cycles": r.duration_cycles}
+            for r in self.results
+        ]
+
+    def breakdown_rows(self) -> dict[str, list[dict[str, float]]]:
+        """Fig. 12b: queue/network delays per phase, per shape."""
+        return {r.label: r.breakdown.rows() for r in self.results}
+
+
+def run(
+    size_bytes: float = DEFAULT_SIZE,
+    shapes: Sequence[TorusShape] = SHAPES,
+) -> Figure12Result:
+    results = []
+    for shape in shapes:
+        platform = torus_platform(
+            shape,
+            algorithm=CollectiveAlgorithm.ENHANCED,
+            local_rings=2,
+            horizontal_rings=2,
+            vertical_rings=2,
+        )
+        results.append(run_collective(platform, CollectiveOp.ALL_REDUCE, size_bytes))
+    return Figure12Result(size_bytes=size_bytes, results=results)

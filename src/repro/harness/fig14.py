@@ -1,0 +1,65 @@
+"""Figs. 14, 15, 16 — ResNet-50 detailed analysis on a 2x4x4 torus.
+
+Setup (Secs. V-E/V-F): two training iterations of data-parallel ResNet-50
+on a 2x4x4 torus, LIFO scheduling, local minibatch 32, 4-phase
+(enhanced) all-reduce.
+
+* Fig. 14: layer-wise total raw communication time (weight gradients
+  only — data parallelism).
+* Fig. 15: layer-wise compute time and exposed communication.
+* Fig. 16: the queue/network breakdown, FIFO vs LIFO — expected to be
+  nearly identical (the fast local dimension drains phase 1 so quickly
+  that LIFO degenerates to in-order execution; Queue P2 dominates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import LayerRow, layer_rows
+from repro.config.parameters import CollectiveAlgorithm, SchedulingPolicy, TorusShape
+from repro.harness.runners import run_training, torus_platform
+from repro.models.resnet50 import resnet50
+from repro.system.stats import DelayBreakdown
+from repro.workload.training_loop import TrainingReport
+
+SHAPE = TorusShape(2, 4, 4)
+
+
+@dataclass
+class ResnetRun:
+    policy: SchedulingPolicy
+    report: TrainingReport
+    breakdown: DelayBreakdown
+
+    def rows(self) -> list[LayerRow]:
+        return layer_rows(self.report)
+
+
+def run(
+    scheduling_policy: SchedulingPolicy = SchedulingPolicy.LIFO,
+    num_iterations: int = 2,
+    shape: TorusShape = SHAPE,
+    compute_scale: float = 1.0,
+) -> ResnetRun:
+    platform = torus_platform(
+        shape,
+        algorithm=CollectiveAlgorithm.ENHANCED,
+        scheduling_policy=scheduling_policy,
+        horizontal_rings=1,
+        vertical_rings=1,
+        compute_scale=compute_scale,
+    )
+    model = resnet50(compute=platform.config.compute, minibatch=32)
+    report, system = run_training(model, platform, num_iterations=num_iterations)
+    return ResnetRun(
+        policy=scheduling_policy, report=report, breakdown=system.breakdown
+    )
+
+
+def run_fifo_vs_lifo(num_iterations: int = 2) -> dict[str, ResnetRun]:
+    """The Fig. 16 comparison."""
+    return {
+        "LIFO": run(SchedulingPolicy.LIFO, num_iterations),
+        "FIFO": run(SchedulingPolicy.FIFO, num_iterations),
+    }

@@ -1,0 +1,21 @@
+"""Fig. 15 — ResNet-50 layer-wise compute and exposed communication.
+
+Same simulation as Fig. 14 (data-parallel ResNet-50 on a 2x4x4 torus,
+LIFO, 4-phase all-reduce); this module re-exports the shared runner and
+adds the Fig. 15 view: per-layer compute vs exposed-communication rows.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import layer_rows
+from repro.harness.fig14 import SHAPE, ResnetRun, run  # noqa: F401
+
+
+def exposed_rows(result: ResnetRun) -> list[dict[str, float]]:
+    """The Fig. 15 bars: compute, raw and exposed comm per layer."""
+    return [{
+        "layer": r.name,
+        "compute_cycles": r.compute_cycles,
+        "raw_comm_cycles": r.total_comm_cycles,
+        "exposed_cycles": r.exposed_cycles,
+    } for r in layer_rows(result.report)]

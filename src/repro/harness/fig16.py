@@ -1,0 +1,15 @@
+"""Fig. 16 — ResNet-50 queue/network breakdown, FIFO vs LIFO.
+
+Re-exports the shared ResNet runner's scheduling-policy comparison; the
+breakdowns are on each run's ``breakdown`` attribute (Queue P0-P4 /
+Network P1-P4 rows via ``breakdown.rows()``).
+"""
+
+from __future__ import annotations
+
+from repro.harness.fig14 import ResnetRun, run, run_fifo_vs_lifo  # noqa: F401
+
+
+def breakdown_rows(runs: dict[str, ResnetRun]) -> dict[str, list[dict]]:
+    """Fig. 16's per-policy phase-delay tables."""
+    return {name: run.breakdown.rows() for name, run in runs.items()}

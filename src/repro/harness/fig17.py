@@ -1,0 +1,46 @@
+"""Fig. 17 — ResNet-50 exposed-communication ratio vs. system size.
+
+Setup (Sec. V-F): data-parallel ResNet-50 with the 4-phase all-reduce as
+the torus grows from 2x2x2 (8 NPUs) to 2x8x8 (128 NPUs).
+
+Expected shape: the exposed-communication share of busy time grows
+monotonically with system size (the paper reports 4.1% at 8 NPUs rising
+to 25.2% at 128 — larger rings mean more steps and more volume while
+per-NPU compute stays constant under data parallelism).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.config.parameters import TorusShape
+from repro.harness.fig14 import run as run_resnet
+
+SHAPES = (
+    TorusShape(2, 2, 2),
+    TorusShape(2, 4, 2),
+    TorusShape(2, 4, 4),
+    TorusShape(2, 8, 4),
+    TorusShape(2, 8, 8),
+)
+
+
+@dataclass
+class Figure17Result:
+    rows: list[dict[str, float]]
+
+
+def run(shapes: Sequence[TorusShape] = SHAPES, num_iterations: int = 2) -> Figure17Result:
+    rows = []
+    for shape in shapes:
+        result = run_resnet(shape=shape, num_iterations=num_iterations)
+        report = result.report
+        rows.append({
+            "shape": str(shape),
+            "npus": shape.num_npus,
+            "compute_cycles": report.total_compute_cycles,
+            "exposed_cycles": report.total_exposed_cycles,
+            "exposed_ratio": report.exposed_comm_ratio,
+        })
+    return Figure17Result(rows=rows)

@@ -1,0 +1,197 @@
+"""Shared experiment runners used by the per-figure harnesses and benches.
+
+Two entry points:
+
+* :func:`run_collective` — one collective set (chunked and scheduled
+  exactly as in a training run) on a freshly built platform; returns the
+  set duration and the delay breakdown.  Used by the Fig. 9-12 studies.
+* :func:`run_training` — a full multi-iteration training simulation;
+  returns the :class:`TrainingReport`.  Used by the Fig. 13-18 studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.collectives.types import CollectiveOp
+from repro.config.parameters import (
+    AllToAllShape,
+    CollectiveAlgorithm,
+    SchedulingPolicy,
+    SimulationConfig,
+    SystemConfig,
+    TorusShape,
+)
+from repro.config.presets import (
+    paper_compute_config,
+    paper_network_config,
+    paper_simulation_config,
+    symmetric_network_config,
+)
+from repro.errors import ConfigError
+from repro.system.stats import DelayBreakdown
+from repro.system.sys_layer import System
+from repro.topology.logical import (
+    LogicalTopology,
+    build_alltoall_topology,
+    build_torus_topology,
+)
+from repro.workload.model import DNNModel
+from repro.workload.training_loop import TrainingLoop, TrainingReport
+
+#: Collective-sweep message sizes (bytes): the Fig. 9-11 x-axes.
+SWEEP_SIZES = (64 * 1024, 512 * 1024, 4 * 1024 * 1024, 32 * 1024 * 1024)
+
+#: A generous event cap for the workload runs — purely a livelock guard.
+MAX_EVENTS = 400_000_000
+
+
+@dataclass
+class CollectiveResult:
+    """Outcome of one collective run."""
+
+    label: str
+    op: CollectiveOp
+    size_bytes: float
+    duration_cycles: float
+    breakdown: DelayBreakdown
+    num_npus: int
+
+
+@dataclass
+class PlatformSpec:
+    """Everything needed to build one simulated platform."""
+
+    name: str
+    topology_builder: Callable[[SystemConfig], LogicalTopology]
+    config: SimulationConfig
+
+    def build_system(self) -> System:
+        topology = self.topology_builder(self.config.system)
+        return System(topology, self.config)
+
+
+def torus_platform(
+    shape: TorusShape,
+    algorithm: CollectiveAlgorithm = CollectiveAlgorithm.BASELINE,
+    symmetric: bool = False,
+    local_rings: int = 2,
+    horizontal_rings: int = 2,
+    vertical_rings: int = 2,
+    scheduling_policy: SchedulingPolicy = SchedulingPolicy.LIFO,
+    compute_scale: float = 1.0,
+    preferred_set_splits: int = 16,
+) -> PlatformSpec:
+    """A hierarchical torus platform with Table IV parameters.
+
+    ``symmetric=True`` equalizes every link to the inter-package class
+    (the Sec. V-A/V-B "links with same BW" setting).
+    """
+    network = symmetric_network_config() if symmetric else paper_network_config()
+    base = paper_simulation_config(
+        algorithm=algorithm,
+        scheduling_policy=scheduling_policy,
+        compute_scale=compute_scale,
+        preferred_set_splits=preferred_set_splits,
+    )
+    system = SystemConfig(
+        topology=base.system.topology,
+        algorithm=algorithm,
+        scheduling_policy=scheduling_policy,
+        local_rings=local_rings,
+        horizontal_rings=horizontal_rings,
+        vertical_rings=vertical_rings,
+        global_switches=base.system.global_switches,
+        endpoint_delay_cycles=base.system.endpoint_delay_cycles,
+        preferred_set_splits=preferred_set_splits,
+        dispatch_threshold=base.system.dispatch_threshold,
+        dispatch_batch=base.system.dispatch_batch,
+    )
+    config = SimulationConfig(
+        system=system,
+        network=network,
+        compute=paper_compute_config(compute_scale=compute_scale),
+    )
+    return PlatformSpec(
+        name=f"torus-{shape}",
+        topology_builder=lambda sys_cfg: build_torus_topology(shape, network, sys_cfg),
+        config=config,
+    )
+
+
+def alltoall_platform(
+    shape: AllToAllShape,
+    algorithm: CollectiveAlgorithm = CollectiveAlgorithm.BASELINE,
+    symmetric: bool = False,
+    local_rings: int = 2,
+    global_switches: int = 2,
+    preferred_set_splits: int = 16,
+) -> PlatformSpec:
+    """A hierarchical alltoall platform with Table IV parameters."""
+    network = symmetric_network_config() if symmetric else paper_network_config()
+    base = paper_simulation_config(algorithm=algorithm,
+                                   preferred_set_splits=preferred_set_splits)
+    system = SystemConfig(
+        topology=base.system.topology,
+        algorithm=algorithm,
+        scheduling_policy=base.system.scheduling_policy,
+        local_rings=local_rings,
+        global_switches=global_switches,
+        endpoint_delay_cycles=base.system.endpoint_delay_cycles,
+        preferred_set_splits=preferred_set_splits,
+        dispatch_threshold=base.system.dispatch_threshold,
+        dispatch_batch=base.system.dispatch_batch,
+    )
+    config = SimulationConfig(system=system, network=network)
+    return PlatformSpec(
+        name=f"alltoall-{shape}",
+        topology_builder=lambda sys_cfg: build_alltoall_topology(shape, network, sys_cfg),
+        config=config,
+    )
+
+
+def run_collective(
+    platform: PlatformSpec,
+    op: CollectiveOp,
+    size_bytes: float,
+    max_events: Optional[int] = MAX_EVENTS,
+) -> CollectiveResult:
+    """Run one chunked collective to completion on a fresh platform."""
+    system = platform.build_system()
+    collective = system.request_collective(op, size_bytes, name=f"{op.value}")
+    system.run_until_idle(max_events=max_events)
+    if not collective.done:
+        raise ConfigError(f"collective never completed on {platform.name}")
+    return CollectiveResult(
+        label=platform.name,
+        op=op,
+        size_bytes=size_bytes,
+        duration_cycles=collective.duration_cycles,
+        breakdown=system.breakdown,
+        num_npus=system.topology.num_npus,
+    )
+
+
+def sweep_collective(
+    platform_builder: Callable[[], PlatformSpec],
+    op: CollectiveOp,
+    sizes: Sequence[float] = SWEEP_SIZES,
+) -> list[CollectiveResult]:
+    """Run ``op`` across message sizes, one fresh platform per point."""
+    return [run_collective(platform_builder(), op, size) for size in sizes]
+
+
+def run_training(
+    model: DNNModel,
+    platform: PlatformSpec,
+    num_iterations: int = 2,
+    max_events: Optional[int] = MAX_EVENTS,
+) -> tuple[TrainingReport, System]:
+    """Run a training workload; returns the report and the system (for
+    its delay breakdown)."""
+    system = platform.build_system()
+    report = TrainingLoop(system, model, num_iterations=num_iterations).run(
+        max_events=max_events
+    )
+    return report, system

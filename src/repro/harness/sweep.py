@@ -1,0 +1,61 @@
+"""Generic parameter-sweep utility for design-space exploration.
+
+Wraps the "build platform -> run -> collect metric" loop every study in
+Sec. V repeats, producing a :class:`ComparisonTable` plus raw rows ready
+for :func:`repro.analysis.export.rows_to_csv`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.analysis.compare import ComparisonTable
+from repro.errors import ReproError
+
+
+@dataclass
+class SweepResult:
+    """Rows plus a speedup table for one sweep."""
+
+    parameter: str
+    metric: str
+    rows: list[dict] = field(default_factory=list)
+
+    def table(self, baseline: str | None = None) -> ComparisonTable:
+        table = ComparisonTable(metric=self.metric)
+        for row in self.rows:
+            table.add(str(row[self.parameter]), row[self.metric])
+        return table
+
+    def values(self) -> list[float]:
+        return [row[self.metric] for row in self.rows]
+
+    def argmin(self):
+        if not self.rows:
+            raise ReproError("sweep produced no rows")
+        best = min(self.rows, key=lambda r: r[self.metric])
+        return best[self.parameter]
+
+
+def sweep(
+    parameter: str,
+    values: Sequence,
+    run: Callable[[object], float],
+    metric: str = "cycles",
+) -> SweepResult:
+    """Evaluate ``run(value)`` for every value, collecting ``metric``.
+
+    >>> result = sweep("chunks", [1, 2], lambda c: 100.0 / c)
+    >>> result.argmin()
+    2
+    """
+    if not values:
+        raise ReproError("sweep needs at least one value")
+    result = SweepResult(parameter=parameter, metric=metric)
+    for value in values:
+        measured = run(value)
+        if measured is None:
+            raise ReproError(f"run({value!r}) returned no metric")
+        result.rows.append({parameter: value, metric: float(measured)})
+    return result

@@ -1,0 +1,112 @@
+"""A DLRM-style recommendation workload [17].
+
+The paper motivates the all-to-all collective with DNNs that keep a
+"distributed key/value table across the nodes" — exactly DLRM's sharded
+embedding tables.  This workload models the standard hybrid split:
+
+* bottom and top MLPs are data-parallel (weight-gradient all-reduce),
+* embedding tables are model-parallel; the forward pass exchanges pooled
+  embedding vectors with an all-to-all (blocking), and back-propagation
+  returns the gradients with another all-to-all.
+"""
+
+from __future__ import annotations
+
+from repro.collectives.types import CollectiveOp
+from repro.compute.gemm import GemmShape, LinearSpec
+from repro.compute.systolic import SystolicArrayModel
+from repro.config.parameters import ComputeConfig
+from repro.dims import Dimension
+from repro.workload.layer import CommSpec, LayerSpec
+from repro.workload.model import DNNModel
+from repro.workload.parallelism import ParallelismStrategy, hybrid
+
+BOTTOM_MLP = (512, 256, 128)
+TOP_MLP = (1024, 512, 256, 1)
+EMBEDDING_DIM = 128
+NUM_TABLES = 26
+DENSE_FEATURES = 13
+
+#: Default hybrid split: tables sharded across the inter-package
+#: dimensions, MLPs replicated (data-parallel) across local.
+DLRM_HYBRID = hybrid(
+    data_dims=(Dimension.LOCAL,),
+    model_dims=(Dimension.VERTICAL, Dimension.HORIZONTAL),
+)
+
+
+def _mlp_layer(
+    name: str,
+    spec: LinearSpec,
+    batch: int,
+    model: SystolicArrayModel,
+    bytes_per_element: int,
+    local_update: float,
+) -> LayerSpec:
+    gemm = spec.gemm(batch)
+    ig, wg = gemm.backward_shapes()
+    return LayerSpec(
+        name=name,
+        forward_cycles=model.layer_cycles(gemm),
+        input_grad_cycles=model.layer_cycles(ig),
+        weight_grad_cycles=model.layer_cycles(wg),
+        weight_grad_comm=CommSpec(
+            CollectiveOp.ALL_REDUCE, float(spec.weight_count * bytes_per_element)
+        ),
+        local_update_cycles_per_kb=local_update,
+    )
+
+
+def dlrm(
+    compute: ComputeConfig | SystolicArrayModel | None = None,
+    minibatch: int = 256,
+    strategy: ParallelismStrategy = DLRM_HYBRID,
+    bytes_per_element: int = 4,
+    local_update_cycles_per_kb: float = 1.0,
+) -> DNNModel:
+    """Build the DLRM-style workload with sharded embedding tables."""
+    if compute is None:
+        compute = ComputeConfig()
+    if isinstance(compute, ComputeConfig):
+        compute = SystolicArrayModel(compute)
+
+    layers = []
+    in_features = DENSE_FEATURES
+    for i, width in enumerate(BOTTOM_MLP, start=1):
+        layers.append(_mlp_layer(
+            f"bottom_mlp{i}", LinearSpec(in_features, width), minibatch,
+            compute, bytes_per_element, local_update_cycles_per_kb,
+        ))
+        in_features = width
+
+    # Embedding exchange: every sample needs the pooled vectors of all
+    # NUM_TABLES tables, which live on remote shards -> all-to-all of
+    # minibatch * tables * dim elements in each direction.
+    exchange_bytes = float(minibatch * NUM_TABLES * EMBEDDING_DIM * bytes_per_element)
+    lookup_cycles = compute.layer_cycles(
+        GemmShape(minibatch * NUM_TABLES, 1, EMBEDDING_DIM)
+    )
+    layers.append(LayerSpec(
+        name="embedding_exchange",
+        forward_cycles=lookup_cycles,
+        input_grad_cycles=lookup_cycles,
+        weight_grad_cycles=0.0,
+        forward_comm=CommSpec(CollectiveOp.ALL_TO_ALL, exchange_bytes),
+        input_grad_comm=CommSpec(CollectiveOp.ALL_TO_ALL, exchange_bytes),
+        local_update_cycles_per_kb=local_update_cycles_per_kb,
+    ))
+
+    in_features = BOTTOM_MLP[-1] + NUM_TABLES * EMBEDDING_DIM
+    for i, width in enumerate(TOP_MLP, start=1):
+        layers.append(_mlp_layer(
+            f"top_mlp{i}", LinearSpec(in_features, width), minibatch,
+            compute, bytes_per_element, local_update_cycles_per_kb,
+        ))
+        in_features = width
+
+    return DNNModel(
+        name="dlrm",
+        layers=tuple(layers),
+        strategy=strategy,
+        minibatch=minibatch,
+    )

@@ -1,0 +1,53 @@
+"""A configurable MLP workload: the smallest useful test/demo model."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.collectives.types import CollectiveOp
+from repro.compute.gemm import LinearSpec
+from repro.compute.systolic import SystolicArrayModel
+from repro.config.parameters import ComputeConfig
+from repro.errors import WorkloadError
+from repro.workload.layer import CommSpec, LayerSpec
+from repro.workload.model import DNNModel
+from repro.workload.parallelism import DATA_PARALLEL, ParallelismStrategy
+
+
+def mlp(
+    widths: Sequence[int] = (4096, 4096, 4096, 1024),
+    input_features: int = 1024,
+    compute: ComputeConfig | SystolicArrayModel | None = None,
+    minibatch: int = 32,
+    strategy: ParallelismStrategy = DATA_PARALLEL,
+    bytes_per_element: int = 4,
+    local_update_cycles_per_kb: float = 1.0,
+) -> DNNModel:
+    """Build a data-parallel multi-layer perceptron workload."""
+    if not widths:
+        raise WorkloadError("mlp needs at least one layer width")
+    if compute is None:
+        compute = ComputeConfig()
+    if isinstance(compute, ComputeConfig):
+        compute = SystolicArrayModel(compute)
+
+    layers = []
+    in_features = input_features
+    for i, width in enumerate(widths, start=1):
+        spec = LinearSpec(in_features, width)
+        gemm = spec.gemm(minibatch)
+        ig, wg = gemm.backward_shapes()
+        layers.append(LayerSpec(
+            name=f"fc{i}",
+            forward_cycles=compute.layer_cycles(gemm),
+            input_grad_cycles=compute.layer_cycles(ig),
+            weight_grad_cycles=compute.layer_cycles(wg),
+            weight_grad_comm=CommSpec(
+                CollectiveOp.ALL_REDUCE, float(spec.weight_count * bytes_per_element)
+            ),
+            local_update_cycles_per_kb=local_update_cycles_per_kb,
+        ))
+        in_features = width
+    return DNNModel(
+        name="mlp", layers=tuple(layers), strategy=strategy, minibatch=minibatch
+    )

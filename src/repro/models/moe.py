@@ -1,0 +1,121 @@
+"""A Mixture-of-Experts Transformer workload.
+
+Expert parallelism is the modern heavy user of the all-to-all collective
+the paper motivates with distributed key/value tables: every MoE layer
+scatters tokens to the NPUs holding their routed experts and gathers the
+results back — two all-to-alls per layer per direction.
+
+The workload alternates dense attention blocks (hybrid-parallel like the
+Transformer) with MoE FFN blocks whose token exchange runs as all-to-all
+over the expert-parallel (model) dimensions.
+"""
+
+from __future__ import annotations
+
+from repro.collectives.types import CollectiveOp
+from repro.compute.gemm import GemmShape
+from repro.compute.systolic import SystolicArrayModel
+from repro.config.parameters import ComputeConfig
+from repro.errors import WorkloadError
+from repro.workload.layer import CommSpec, LayerSpec
+from repro.workload.model import DNNModel
+from repro.workload.parallelism import TRANSFORMER_HYBRID, ParallelismStrategy
+
+D_MODEL = 1024
+D_FF = 4096
+SEQ_LEN = 512
+NUM_BLOCKS = 4
+
+
+def moe_transformer(
+    compute: ComputeConfig | SystolicArrayModel | None = None,
+    minibatch: int = 32,
+    num_experts: int = 8,
+    expert_parallel_degree: int = 2,
+    capacity_factor: float = 1.25,
+    strategy: ParallelismStrategy = TRANSFORMER_HYBRID,
+    bytes_per_element: int = 4,
+    local_update_cycles_per_kb: float = 1.0,
+) -> DNNModel:
+    """Build the MoE workload.
+
+    ``expert_parallel_degree`` is the size of the dimension the experts
+    are sharded over; each NPU hosts ``num_experts / degree`` experts and
+    exchanges routed tokens with its peers via all-to-all.
+    ``capacity_factor`` over-provisions the exchange the way real MoE
+    routers do.
+    """
+    if num_experts % expert_parallel_degree:
+        raise WorkloadError(
+            f"expert_parallel_degree {expert_parallel_degree} must divide "
+            f"num_experts {num_experts}"
+        )
+    if capacity_factor < 1.0:
+        raise WorkloadError("capacity_factor must be >= 1")
+    if compute is None:
+        compute = ComputeConfig()
+    if isinstance(compute, ComputeConfig):
+        compute = SystolicArrayModel(compute)
+
+    tokens = minibatch * SEQ_LEN
+    activation_bytes = float(tokens * D_MODEL * bytes_per_element)
+    # Each token visits one expert; with expert parallelism a fraction
+    # (degree-1)/degree of tokens leave the NPU, padded by the capacity
+    # factor.  Forward does dispatch + combine (two all-to-alls); they are
+    # modelled as one exchange of twice the dispatched volume.
+    leaving = (expert_parallel_degree - 1) / expert_parallel_degree
+    exchange_bytes = 2.0 * capacity_factor * leaving * activation_bytes
+
+    attn_gemms = [
+        GemmShape(tokens, D_MODEL, D_MODEL),  # fused QKV-ish projection
+        GemmShape(tokens, D_MODEL, tokens),   # scores
+        GemmShape(tokens, tokens, D_MODEL),   # context
+        GemmShape(tokens, D_MODEL, D_MODEL),  # output projection
+    ]
+    local_experts = num_experts // expert_parallel_degree
+    # Tokens per expert after routing, processed by that expert's FFN.
+    tokens_per_expert = int(tokens * capacity_factor / num_experts) or 1
+    expert_gemms = []
+    for _ in range(local_experts):
+        expert_gemms.append(GemmShape(tokens_per_expert, D_MODEL, D_FF))
+        expert_gemms.append(GemmShape(tokens_per_expert, D_FF, D_MODEL))
+
+    attn_weight_bytes = float(4 * D_MODEL * D_MODEL * bytes_per_element)
+    expert_weight_bytes = float(
+        local_experts * 2 * D_MODEL * D_FF * bytes_per_element
+    )
+
+    layers = []
+    for block in range(1, NUM_BLOCKS + 1):
+        attn_ig = [g.backward_shapes()[0] for g in attn_gemms]
+        attn_wg = [g.backward_shapes()[1] for g in attn_gemms]
+        layers.append(LayerSpec(
+            name=f"attention{block}",
+            forward_cycles=compute.layer_cycles(attn_gemms),
+            input_grad_cycles=compute.layer_cycles(attn_ig),
+            weight_grad_cycles=compute.layer_cycles(attn_wg),
+            forward_comm=CommSpec(CollectiveOp.ALL_GATHER, activation_bytes),
+            input_grad_comm=CommSpec(CollectiveOp.ALL_REDUCE, activation_bytes),
+            weight_grad_comm=CommSpec(CollectiveOp.ALL_REDUCE, attn_weight_bytes),
+            local_update_cycles_per_kb=local_update_cycles_per_kb,
+        ))
+        expert_ig = [g.backward_shapes()[0] for g in expert_gemms]
+        expert_wg = [g.backward_shapes()[1] for g in expert_gemms]
+        layers.append(LayerSpec(
+            name=f"moe_ffn{block}",
+            forward_cycles=compute.layer_cycles(expert_gemms),
+            input_grad_cycles=compute.layer_cycles(expert_ig),
+            weight_grad_cycles=compute.layer_cycles(expert_wg),
+            # Token dispatch+combine: all-to-all in both directions.
+            forward_comm=CommSpec(CollectiveOp.ALL_TO_ALL, exchange_bytes),
+            input_grad_comm=CommSpec(CollectiveOp.ALL_TO_ALL, exchange_bytes),
+            weight_grad_comm=CommSpec(CollectiveOp.ALL_REDUCE,
+                                      expert_weight_bytes),
+            local_update_cycles_per_kb=local_update_cycles_per_kb,
+        ))
+    return DNNModel(
+        name="moe-transformer",
+        layers=tuple(layers),
+        strategy=strategy,
+        minibatch=minibatch,
+    )

@@ -1,0 +1,139 @@
+"""ResNet-50 [16] as a data-parallel training workload (Secs. V-E/V-F).
+
+The full v1.5 architecture: the 7x7 stem, four bottleneck stages
+(3/4/6/3 blocks with 1x1-3x3-1x1 convolutions and projection shortcuts)
+and the final classifier — 54 weighted layers.  Compute delays come from
+the analytical systolic-array model; the only communication is the
+per-layer weight-gradient all-reduce (Table I, data parallelism), sized
+at the layer's parameter bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.collectives.types import CollectiveOp
+from repro.compute.gemm import ConvSpec, GemmShape, LinearSpec
+from repro.compute.systolic import SystolicArrayModel
+from repro.config.parameters import ComputeConfig
+from repro.workload.layer import CommSpec, LayerSpec
+from repro.workload.model import DNNModel
+from repro.workload.parallelism import DATA_PARALLEL
+
+#: (mid_channels, out_channels, num_blocks, first_stride) per stage.
+_STAGES = (
+    (64, 256, 3, 1),
+    (128, 512, 4, 2),
+    (256, 1024, 6, 2),
+    (512, 2048, 3, 2),
+)
+
+IMAGE_SIZE = 224
+NUM_CLASSES = 1000
+
+
+@dataclass(frozen=True)
+class _ConvLayer:
+    name: str
+    spec: ConvSpec
+
+
+def _architecture() -> list[_ConvLayer]:
+    """The ordered list of weighted convolution layers."""
+    layers = [_ConvLayer("conv1", ConvSpec(3, 64, kernel=7, stride=2,
+                                           in_size=IMAGE_SIZE, padding=3))]
+    size = layers[0].spec.out_size // 2  # 3x3/2 max-pool after the stem
+    in_ch = 64
+    for stage_idx, (mid, out, blocks, first_stride) in enumerate(_STAGES, start=2):
+        for block in range(blocks):
+            stride = first_stride if block == 0 else 1
+            prefix = f"conv{stage_idx}_{block + 1}"
+            layers.append(_ConvLayer(
+                f"{prefix}_a", ConvSpec(in_ch, mid, kernel=1, stride=1, in_size=size)))
+            layers.append(_ConvLayer(
+                f"{prefix}_b", ConvSpec(mid, mid, kernel=3, stride=stride,
+                                        in_size=size, padding=1)))
+            out_size = layers[-1].spec.out_size
+            layers.append(_ConvLayer(
+                f"{prefix}_c", ConvSpec(mid, out, kernel=1, stride=1, in_size=out_size)))
+            if block == 0:
+                layers.append(_ConvLayer(
+                    f"{prefix}_down", ConvSpec(in_ch, out, kernel=1, stride=stride,
+                                               in_size=size)))
+            in_ch = out
+            size = out_size
+    return layers
+
+
+def _layer_from_gemm(
+    name: str,
+    gemm: GemmShape,
+    weight_bytes: float,
+    model: SystolicArrayModel,
+    local_update_cycles_per_kb: float,
+    io_bytes: float | None = None,
+) -> LayerSpec:
+    """Build a LayerSpec from one forward GEMM.  ``io_bytes`` is the real
+    forward tensor traffic (in + weights + out); im2col-expanded GEMM
+    operands would overcount convolution input reuse by the kernel area.
+    The backward passes touch the same tensors (gradients in place of
+    activations), so the same figure serves all three phases."""
+    ig_gemm, wg_gemm = gemm.backward_shapes()
+    return LayerSpec(
+        name=name,
+        forward_cycles=model.layer_cycles(gemm, io_bytes=io_bytes),
+        input_grad_cycles=model.layer_cycles(ig_gemm, io_bytes=io_bytes),
+        weight_grad_cycles=model.layer_cycles(wg_gemm, io_bytes=io_bytes),
+        weight_grad_comm=CommSpec(CollectiveOp.ALL_REDUCE, weight_bytes),
+        local_update_cycles_per_kb=local_update_cycles_per_kb,
+    )
+
+
+def _conv_io_bytes(spec: ConvSpec, batch: int, bytes_per_element: int) -> float:
+    """Real forward DRAM traffic of a convolution: input + weights + output."""
+    in_elems = batch * spec.in_channels * spec.in_size * spec.in_size
+    out_elems = spec.activation_count(batch)
+    return float((in_elems + spec.weight_count + out_elems) * bytes_per_element)
+
+
+def resnet50(
+    compute: ComputeConfig | SystolicArrayModel | None = None,
+    minibatch: int = 32,
+    bytes_per_element: int = 4,
+    local_update_cycles_per_kb: float = 1.0,
+) -> DNNModel:
+    """Build the ResNet-50 data-parallel workload (Fig. 14 setup:
+    local minibatch 32, weight-gradient all-reduce per layer)."""
+    if compute is None:
+        compute = ComputeConfig()
+    if isinstance(compute, ComputeConfig):
+        compute = SystolicArrayModel(compute)
+
+    layers = []
+    for conv in _architecture():
+        layers.append(_layer_from_gemm(
+            conv.name,
+            conv.spec.gemm(minibatch),
+            conv.spec.weight_count * bytes_per_element,
+            compute,
+            local_update_cycles_per_kb,
+            io_bytes=_conv_io_bytes(conv.spec, minibatch, bytes_per_element),
+        ))
+    fc = LinearSpec(2048, NUM_CLASSES)
+    layers.append(_layer_from_gemm(
+        "fc", fc.gemm(minibatch), fc.weight_count * bytes_per_element,
+        compute, local_update_cycles_per_kb,
+    ))
+    return DNNModel(
+        name="resnet50",
+        layers=tuple(layers),
+        strategy=DATA_PARALLEL,
+        minibatch=minibatch,
+    )
+
+
+def total_parameters() -> int:
+    """Weighted-parameter count of the conv + fc layers (sanity check:
+    ~23.5 M without batch-norm/bias terms)."""
+    conv_params = sum(layer.spec.weight_count for layer in _architecture())
+    return conv_params + LinearSpec(2048, NUM_CLASSES).weight_count

@@ -1,0 +1,140 @@
+"""Transformer encoder [8] as a hybrid-parallel workload (Fig. 13 setup).
+
+Six structurally identical encoder layers (multi-head attention + FFN)
+between an embedding layer and an output projection.  The parallelism is
+hybrid (Sec. V-E): data-parallel across the local and horizontal torus
+dimensions, model-parallel across vertical — attention heads and FFN
+columns are sharded over the model-parallel group, so
+
+* forward: each layer all-gathers its output activations across the
+  model-parallel dimension (blocking the next layer),
+* back-propagation: input gradients are all-reduced across the
+  model-parallel dimension (blocking), and
+* weight gradients are all-reduced across the data-parallel dimensions
+  (overlappable), sized at the shard's parameter bytes.
+
+The embedding layer is replicated in this split and communicates nothing
+("some layers may not have communications", Fig. 13 caption).
+"""
+
+from __future__ import annotations
+
+from repro.collectives.types import CollectiveOp
+from repro.compute.gemm import GemmShape
+from repro.compute.systolic import SystolicArrayModel
+from repro.config.parameters import ComputeConfig
+from repro.errors import WorkloadError
+from repro.workload.layer import CommSpec, LayerSpec
+from repro.workload.model import DNNModel
+from repro.workload.parallelism import TRANSFORMER_HYBRID, ParallelismStrategy
+
+D_MODEL = 1024
+D_FF = 4096
+SEQ_LEN = 512
+NUM_ENCODER_LAYERS = 6
+VOCAB = 32_000
+
+
+def _encoder_gemms(tokens: int, model_shard: int) -> list[GemmShape]:
+    """Per-NPU forward GEMMs of one encoder layer with heads/columns
+    sharded ``model_shard`` ways: Q/K/V and output projections, the two
+    attention GEMMs, and the two FFN projections."""
+    d_head_total = D_MODEL // model_shard
+    ff_shard = D_FF // model_shard
+    return [
+        GemmShape(tokens, D_MODEL, d_head_total),  # Q projection (sharded)
+        GemmShape(tokens, D_MODEL, d_head_total),  # K projection
+        GemmShape(tokens, D_MODEL, d_head_total),  # V projection
+        GemmShape(tokens, d_head_total, tokens),   # attention scores
+        GemmShape(tokens, tokens, d_head_total),   # attention context
+        GemmShape(tokens, d_head_total, D_MODEL),  # output projection
+        GemmShape(tokens, D_MODEL, ff_shard),      # FFN up
+        GemmShape(tokens, ff_shard, D_MODEL),      # FFN down
+    ]
+
+
+def _encoder_weight_count(model_shard: int) -> int:
+    """Per-shard weighted parameters of one encoder layer."""
+    attn = 4 * D_MODEL * (D_MODEL // model_shard)
+    ffn = 2 * D_MODEL * (D_FF // model_shard)
+    return attn + ffn
+
+
+def transformer(
+    compute: ComputeConfig | SystolicArrayModel | None = None,
+    minibatch: int = 32,
+    model_parallel_degree: int = 2,
+    strategy: ParallelismStrategy = TRANSFORMER_HYBRID,
+    bytes_per_element: int = 4,
+    local_update_cycles_per_kb: float = 1.0,
+) -> DNNModel:
+    """Build the hybrid-parallel Transformer workload.
+
+    ``model_parallel_degree`` is the size of the model-parallel dimension
+    (2 for the paper's 2x2x2 torus, which is model-parallel across the
+    vertical dimension of size 2).
+    """
+    if D_MODEL % model_parallel_degree or D_FF % model_parallel_degree:
+        raise WorkloadError(
+            f"model_parallel_degree {model_parallel_degree} must divide "
+            f"d_model={D_MODEL} and d_ff={D_FF}"
+        )
+    if compute is None:
+        compute = ComputeConfig()
+    if isinstance(compute, ComputeConfig):
+        compute = SystolicArrayModel(compute)
+
+    tokens = minibatch * SEQ_LEN
+    activation_bytes = float(tokens * D_MODEL * bytes_per_element)
+
+    layers = [LayerSpec(
+        name="embedding",
+        forward_cycles=compute.layer_cycles(GemmShape(tokens, 1, D_MODEL)),
+        input_grad_cycles=0.0,
+        weight_grad_cycles=compute.layer_cycles(GemmShape(tokens, 1, D_MODEL)),
+        local_update_cycles_per_kb=local_update_cycles_per_kb,
+    )]
+
+    for i in range(1, NUM_ENCODER_LAYERS + 1):
+        fwd_gemms = _encoder_gemms(tokens, model_parallel_degree)
+        ig_gemms, wg_gemms = [], []
+        for g in fwd_gemms:
+            ig, wg = g.backward_shapes()
+            ig_gemms.append(ig)
+            wg_gemms.append(wg)
+        shard_weight_bytes = float(
+            _encoder_weight_count(model_parallel_degree) * bytes_per_element
+        )
+        layers.append(LayerSpec(
+            name=f"encoder{i}",
+            forward_cycles=compute.layer_cycles(fwd_gemms),
+            input_grad_cycles=compute.layer_cycles(ig_gemms),
+            weight_grad_cycles=compute.layer_cycles(wg_gemms),
+            forward_comm=CommSpec(CollectiveOp.ALL_GATHER, activation_bytes),
+            input_grad_comm=CommSpec(CollectiveOp.ALL_REDUCE, activation_bytes),
+            weight_grad_comm=CommSpec(CollectiveOp.ALL_REDUCE, shard_weight_bytes),
+            local_update_cycles_per_kb=local_update_cycles_per_kb,
+        ))
+
+    proj_shard = VOCAB // model_parallel_degree
+    proj = GemmShape(tokens, D_MODEL, proj_shard)
+    proj_ig, proj_wg = proj.backward_shapes()
+    layers.append(LayerSpec(
+        name="output_proj",
+        forward_cycles=compute.layer_cycles(proj),
+        input_grad_cycles=compute.layer_cycles(proj_ig),
+        weight_grad_cycles=compute.layer_cycles(proj_wg),
+        input_grad_comm=CommSpec(CollectiveOp.ALL_REDUCE, activation_bytes),
+        weight_grad_comm=CommSpec(
+            CollectiveOp.ALL_REDUCE,
+            float(D_MODEL * proj_shard * bytes_per_element),
+        ),
+        local_update_cycles_per_kb=local_update_cycles_per_kb,
+    ))
+
+    return DNNModel(
+        name="transformer",
+        layers=tuple(layers),
+        strategy=strategy,
+        minibatch=minibatch,
+    )

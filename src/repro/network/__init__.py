@@ -1,0 +1,22 @@
+"""Network layer: links, channels, physical fabrics, and two backends."""
+
+from repro.network.api import DeliveryCallback, NetworkBackend, validate_path
+from repro.network.channel import Channel, RingChannel, SwitchChannel
+from repro.network.fast_backend import FastBackend
+from repro.network.link import Link, LinkStats
+from repro.network.message import Message, num_packets, packetize
+
+__all__ = [
+    "Channel",
+    "DeliveryCallback",
+    "FastBackend",
+    "Link",
+    "LinkStats",
+    "Message",
+    "NetworkBackend",
+    "RingChannel",
+    "SwitchChannel",
+    "num_packets",
+    "packetize",
+    "validate_path",
+]

@@ -1,0 +1,70 @@
+"""Backend-agnostic network interface.
+
+ASTRA-SIM is "highly portable ... it can be ported on top of any network
+simulator using a lightweight interface" (Sec. IV).  This module is that
+interface: the system layer only ever calls :meth:`NetworkBackend.send`
+with an explicit link path and a delivery callback, plus
+:meth:`NetworkBackend.schedule` for timed events.  Two implementations
+exist: :class:`repro.network.fast_backend.FastBackend` (default) and
+:class:`repro.network.detailed.backend.DetailedBackend` (flit-level).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable
+
+from repro.events.engine import EventHandle, EventQueue
+from repro.network.link import Link
+from repro.network.message import Message
+
+DeliveryCallback = Callable[[Message], None]
+
+
+class NetworkBackend(abc.ABC):
+    """The lightweight network interface of Fig. 6."""
+
+    def __init__(self, events: EventQueue):
+        self.events = events
+        self.messages_delivered = 0
+        self.bytes_delivered = 0.0
+
+    @property
+    def now(self) -> float:
+        return self.events.now
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Expose the event queue to upper layers (Sec. IV)."""
+        return self.events.schedule(delay, callback)
+
+    @abc.abstractmethod
+    def send(self, message: Message, path: list[Link], on_delivered: DeliveryCallback) -> None:
+        """Inject ``message`` along ``path``; call ``on_delivered`` at arrival.
+
+        ``path`` is an ordered list of physical links whose endpoints chain
+        from ``message.src`` to ``message.dst`` (possibly through switch
+        endpoints).  Implementations must fill the message's timing fields.
+        """
+
+    def _record_delivery(self, message: Message) -> None:
+        self.messages_delivered += 1
+        self.bytes_delivered += message.size_bytes
+
+
+def validate_path(message: Message, path: list[Link]) -> None:
+    """Check that ``path`` actually chains src -> dst (shared by backends)."""
+    from repro.errors import NetworkError
+
+    if not path:
+        raise NetworkError(f"empty path for message {message.src}->{message.dst}")
+    if path[0].src != message.src:
+        raise NetworkError(
+            f"path starts at {path[0].src}, message src is {message.src}"
+        )
+    if path[-1].dst != message.dst:
+        raise NetworkError(
+            f"path ends at {path[-1].dst}, message dst is {message.dst}"
+        )
+    for a, b in zip(path, path[1:]):
+        if a.dst != b.src:
+            raise NetworkError(f"discontinuous path: {a!r} then {b!r}")

@@ -1,0 +1,70 @@
+"""Flits and packets for the detailed (Garnet-like) backend.
+
+Granularity follows Table II: messages decompose into packets bounded by
+the link's packet size; packets decompose into flits of the configured
+flit width; phits are not modelled separately (one flit serializes over a
+link in ``flit_bytes / link_bytes_per_cycle`` cycles, which is exactly
+the phit count times the phit time).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import NetworkError
+from repro.network.message import Message, packetize
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Flit:
+    """One flow-control unit of a packet."""
+
+    packet: "Packet"
+    index: int
+    size_bytes: float
+    is_head: bool
+    is_tail: bool
+
+
+@dataclass
+class Packet:
+    """One network packet: a head flit, body flits, and a tail flit."""
+
+    message: Message
+    index: int
+    size_bytes: float
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    flits: list[Flit] = field(default_factory=list)
+
+    def build_flits(self, flit_bytes: int) -> None:
+        if flit_bytes <= 0:
+            raise NetworkError(f"flit width must be positive: {flit_bytes}")
+        sizes: list[float] = []
+        remaining = self.size_bytes
+        while remaining > flit_bytes:
+            sizes.append(float(flit_bytes))
+            remaining -= flit_bytes
+        sizes.append(float(max(remaining, 0.0)))
+        self.flits = [
+            Flit(
+                packet=self,
+                index=i,
+                size_bytes=size,
+                is_head=(i == 0),
+                is_tail=(i == len(sizes) - 1),
+            )
+            for i, size in enumerate(sizes)
+        ]
+
+
+def build_packets(message: Message, packet_bytes: int, flit_bytes: int) -> list[Packet]:
+    """Decompose a message into packets with materialized flits."""
+    packets = []
+    for i, size in enumerate(packetize(message.size_bytes, packet_bytes)):
+        packet = Packet(message=message, index=i, size_bytes=size)
+        packet.build_flits(flit_bytes)
+        packets.append(packet)
+    return packets

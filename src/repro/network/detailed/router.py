@@ -1,0 +1,144 @@
+"""Transmission ports with virtual channels and credit flow control.
+
+The detailed backend models every physical link as a :class:`TxPort`: a
+set of per-VC flit queues arbitrated round-robin, transmitting one flit
+at a time, gated by credits from the downstream buffer (``buffers_per_vc``
+slots per VC, Table III #28).  A flit occupies its downstream buffer slot
+from transmission start until it departs on the next hop (or is consumed
+by the destination NPU, which sinks flits immediately).
+
+This is wormhole switching with flit-level VC interleaving — the same
+flow-control family as Garnet, minus per-router microarchitectural
+pipeline stages (the per-hop router latency is charged as a constant,
+Table III #25).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.config.parameters import NetworkConfig
+from repro.errors import NetworkError
+from repro.events.engine import EventQueue
+from repro.network.detailed.flit import Flit
+from repro.network.link import Link
+
+
+@dataclass
+class HopContext:
+    """Everything a flit needs to know to traverse its remaining path."""
+
+    path: list[Link]
+    hop: int
+    vc: int
+    upstream: Optional["TxPort"]
+    on_delivered_flit: Callable[[Flit], None]
+
+    @property
+    def is_last_hop(self) -> bool:
+        return self.hop == len(self.path) - 1
+
+
+class TxPort:
+    """The transmit side of one physical link in the detailed backend."""
+
+    def __init__(
+        self,
+        link: Link,
+        network: NetworkConfig,
+        events: EventQueue,
+        next_port_for: Callable[[Link], "TxPort"],
+    ):
+        self.link = link
+        self.network = network
+        self.events = events
+        self._next_port_for = next_port_for
+        self.queues: list[deque] = [deque() for _ in range(network.vcs_per_vnet)]
+        self.credits: list[int] = [network.buffers_per_vc] * network.vcs_per_vnet
+        self._rr = 0
+        self._sending = False
+        self.flits_sent = 0
+
+    # -- queue interface --------------------------------------------------------
+
+    def enqueue(self, flit: Flit, ctx: HopContext) -> None:
+        if not 0 <= ctx.vc < len(self.queues):
+            raise NetworkError(f"VC {ctx.vc} out of range on {self.link!r}")
+        self.queues[ctx.vc].append((flit, ctx))
+        self._try_send()
+
+    def release_credit(self, vc: int) -> None:
+        """Downstream buffer slot freed (flit departed the next hop)."""
+        self.credits[vc] += 1
+        if self.credits[vc] > self.network.buffers_per_vc:
+            raise NetworkError(f"credit overflow on {self.link!r} vc={vc}")
+        self._try_send()
+
+    # -- arbitration / transmission ------------------------------------------------
+
+    def _pick_vc(self) -> Optional[int]:
+        """Round-robin over VCs that have a flit and (if needed) a credit."""
+        n = len(self.queues)
+        for offset in range(n):
+            vc = (self._rr + offset) % n
+            if not self.queues[vc]:
+                continue
+            _, ctx = self.queues[vc][0]
+            if ctx.is_last_hop or self.credits[vc] > 0:
+                self._rr = (vc + 1) % n
+                return vc
+        return None
+
+    def _try_send(self) -> None:
+        if self._sending:
+            return
+        vc = self._pick_vc()
+        if vc is None:
+            return
+        self._sending = True
+        flit, ctx = self.queues[vc].popleft()
+
+        if not ctx.is_last_hop:
+            self.credits[vc] -= 1
+        if ctx.upstream is not None:
+            # Leaving the buffer this flit occupied at the upstream hop.
+            ctx.upstream.release_credit(vc)
+
+        # Serialization: efficiency models the header phits per flit.
+        bytes_per_cycle = self.link.config.effective_bytes_per_cycle(self.link.clock)
+        ser = max(flit.size_bytes, 1.0) / bytes_per_cycle
+        self.flits_sent += 1
+        self.link.stats.bytes += flit.size_bytes
+        self.link.stats.busy_cycles += ser
+
+        self.events.schedule(ser, self._tx_done)
+        self.events.schedule(
+            ser + self.link.config.latency_cycles,
+            lambda: self._arrive(flit, ctx),
+        )
+
+    def _tx_done(self) -> None:
+        self._sending = False
+        self._try_send()
+
+    def _arrive(self, flit: Flit, ctx: HopContext) -> None:
+        if ctx.is_last_hop:
+            # The destination NPU sinks flits immediately; no credit was
+            # consumed for the final hop.
+            ctx.on_delivered_flit(flit)
+            return
+        next_link = ctx.path[ctx.hop + 1]
+        next_port = self._next_port_for(next_link)
+        next_ctx = HopContext(
+            path=ctx.path,
+            hop=ctx.hop + 1,
+            vc=ctx.vc,
+            upstream=self,
+            on_delivered_flit=ctx.on_delivered_flit,
+        )
+        self.events.schedule(
+            self.network.router_latency_cycles,
+            lambda: next_port.enqueue(flit, next_ctx),
+        )

@@ -1,0 +1,62 @@
+"""Fault injection: degraded links and straggler endpoints.
+
+Real platforms suffer flaky cables, downtrained links and slow nodes; a
+co-design simulator should answer "what does one bad link cost an
+all-reduce?".  Faults here are static per run (applied before the
+simulation starts), matching how such studies sweep degradation factors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.errors import NetworkError
+from repro.network.link import Link
+from repro.network.physical.fabric import Fabric
+
+
+def degrade_link(link: Link, bandwidth_factor: float = 1.0,
+                 extra_latency_cycles: float = 0.0) -> Link:
+    """Degrade one link in place: scale its bandwidth down and/or add
+    propagation latency.  Returns the link for chaining."""
+    if not 0 < bandwidth_factor <= 1:
+        raise NetworkError(
+            f"bandwidth_factor must be in (0, 1], got {bandwidth_factor}"
+        )
+    if extra_latency_cycles < 0:
+        raise NetworkError("extra latency must be >= 0")
+    link.config = replace(
+        link.config,
+        bandwidth_gbps=link.config.bandwidth_gbps * bandwidth_factor,
+        latency_cycles=link.config.latency_cycles + extra_latency_cycles,
+    )
+    return link
+
+
+def degrade_random_links(
+    fabric: Fabric,
+    count: int,
+    bandwidth_factor: float,
+    seed: int = 0,
+    kind: str | None = None,
+) -> list[Link]:
+    """Degrade ``count`` deterministic-randomly chosen links of ``fabric``
+    (optionally restricted to one link kind).  Returns the victims."""
+    import random
+
+    candidates = [l for l in fabric.links if kind is None or l.kind == kind]
+    if count < 0 or count > len(candidates):
+        raise NetworkError(
+            f"cannot degrade {count} of {len(candidates)} links"
+        )
+    rng = random.Random(seed)
+    victims = rng.sample(candidates, count)
+    for link in victims:
+        degrade_link(link, bandwidth_factor=bandwidth_factor)
+    return victims
+
+
+def slowest_link_bandwidth(fabric: Fabric) -> float:
+    """The minimum link bandwidth in the fabric (GB/s) — the collective
+    bandwidth ceiling after degradation."""
+    return min(l.config.bandwidth_gbps for l in fabric.links)

@@ -1,0 +1,94 @@
+"""Unidirectional link model used by the fast backend.
+
+Every physical link is a FIFO-served resource: messages are granted the
+link in arrival order, occupy it for their serialization time, and incur
+the link's propagation latency on top.  This captures the two quantities
+the paper's results hinge on — per-link serialization (size / BW·eff)
+and queuing delay under contention — without simulating individual flits.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.config.parameters import LinkConfig
+from repro.config.units import Clock, DEFAULT_CLOCK
+from repro.errors import NetworkError
+
+_link_ids = itertools.count()
+
+
+@dataclass
+class LinkStats:
+    """Accumulated per-link counters (utilization reporting)."""
+
+    messages: int = 0
+    bytes: float = 0.0
+    busy_cycles: float = 0.0
+    queue_cycles: float = 0.0
+
+
+class Link:
+    """A unidirectional link from ``src`` to ``dst`` endpoints.
+
+    Endpoints are opaque integers: NPU ids, or switch ids allocated by the
+    fabric builder.  ``kind`` is "local" (intra-package) or "package"
+    (inter-package) and is only used for reporting.
+    """
+
+    __slots__ = ("link_id", "src", "dst", "config", "kind", "clock",
+                 "next_free", "stats")
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        config: LinkConfig,
+        kind: str = "package",
+        clock: Clock = DEFAULT_CLOCK,
+    ):
+        if src == dst:
+            raise NetworkError(f"link endpoints must differ, got {src}->{dst}")
+        self.link_id = next(_link_ids)
+        self.src = src
+        self.dst = dst
+        self.config = config
+        self.kind = kind
+        self.clock = clock
+        #: Earliest time the link can accept the next message.
+        self.next_free = 0.0
+        self.stats = LinkStats()
+
+    def serialization_cycles(self, size_bytes: float) -> float:
+        return self.config.serialization_cycles(size_bytes, self.clock)
+
+    def reserve(self, at: float, size_bytes: float) -> tuple[float, float, float]:
+        """Reserve the link for one message arriving at time ``at``.
+
+        Returns ``(start, head_arrival, tail_arrival)`` where ``start`` is
+        when serialization begins (after FIFO wait), ``head_arrival`` is
+        when the first packet reaches the far end (enables pipelined
+        multi-hop forwarding), and ``tail_arrival`` is full delivery.
+        """
+        if size_bytes < 0:
+            raise NetworkError(f"size must be >= 0: {size_bytes}")
+        start = max(at, self.next_free)
+        ser = self.serialization_cycles(size_bytes)
+        first_packet = min(size_bytes, float(self.config.packet_size_bytes))
+        head_arrival = start + self.serialization_cycles(first_packet) + self.config.latency_cycles
+        tail_arrival = start + ser + self.config.latency_cycles
+        self.next_free = start + ser
+
+        self.stats.messages += 1
+        self.stats.bytes += size_bytes
+        self.stats.busy_cycles += ser
+        self.stats.queue_cycles += start - at
+        return start, head_arrival, tail_arrival
+
+    def reset(self) -> None:
+        self.next_free = 0.0
+        self.stats = LinkStats()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Link#{self.link_id}({self.src}->{self.dst}, {self.kind})"

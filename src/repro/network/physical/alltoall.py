@@ -1,0 +1,113 @@
+"""Hierarchical M x N alltoall fabric (Fig. 3b).
+
+M NAMs per package joined by intra-package rings; the N packages are
+fully connected through ``global_switches`` global switches, with every
+NPU holding an uplink and a downlink to each switch (Sec. III-C).
+Traffic between a pair of NPUs is assigned to a switch by the sender
+(see :meth:`AllToAllFabric.switch_for`): the assignment is a Latin-square
+style spread so that when the number of switches equals ``peers`` the
+topology degenerates to the "one link per peer NAM" configuration of the
+Fig. 9 study.
+"""
+
+from __future__ import annotations
+
+from repro.config.parameters import AllToAllShape, NetworkConfig
+from repro.config.units import Clock, DEFAULT_CLOCK
+from repro.errors import TopologyError
+from repro.network.channel import SwitchChannel
+from repro.network.physical.fabric import Fabric
+from repro.dims import Dimension
+
+
+class AllToAllFabric(Fabric):
+    """A physical hierarchical alltoall with global switches."""
+
+    def __init__(
+        self,
+        shape: AllToAllShape,
+        network: NetworkConfig,
+        local_rings: int = 2,
+        global_switches: int = 2,
+        clock: Clock = DEFAULT_CLOCK,
+    ):
+        super().__init__(shape.num_npus, network, clock)
+        if local_rings < 1:
+            raise TopologyError("local_rings must be >= 1")
+        if global_switches < 1:
+            raise TopologyError("global_switches must be >= 1")
+        self.shape = shape
+        self.local_rings = local_rings
+        self.global_switches = global_switches
+        self._build()
+
+    # -- coordinates -----------------------------------------------------------
+
+    def npu_id(self, local: int, package: int) -> int:
+        s = self.shape
+        if not (0 <= local < s.local and 0 <= package < s.packages):
+            raise TopologyError(f"coords ({local},{package}) outside shape {s}")
+        return local + s.local * package
+
+    def coords(self, npu: int) -> tuple[int, int]:
+        s = self.shape
+        if not 0 <= npu < s.num_npus:
+            raise TopologyError(f"npu {npu} outside shape {s}")
+        return npu % s.local, npu // s.local
+
+    # -- construction ----------------------------------------------------------
+
+    def _build(self) -> None:
+        s = self.shape
+        net = self.network
+
+        if s.local >= 2:
+            for p in range(s.packages):
+                nodes = [self.npu_id(l, p) for l in range(s.local)]
+                rings = [
+                    self._build_ring(
+                        nodes, net.local_link, "local",
+                        name=f"local(p={p})#{r}", reverse=bool(r % 2),
+                    )
+                    for r in range(self.local_rings)
+                ]
+                self._add_channels(Dimension.LOCAL, (p,), rings)
+
+        # Global switches attach to every NPU.  The alltoall dimension's
+        # groups are the sets of NPUs with the same local index across all
+        # packages ("NPUs with the same number in Figure 3b work together");
+        # every group shares the same physical switches.
+        all_nodes = list(range(s.num_npus))
+        switches = [
+            self._build_switch(all_nodes, net.package_link, name=f"global-switch#{i}")
+            for i in range(self.global_switches)
+        ]
+        self.switches = switches
+        for l in range(s.local):
+            self._add_channels(Dimension.ALLTOALL, (l,), switches)
+
+    def group_of(self, dim: Dimension, npu: int) -> tuple[int, ...]:
+        local, package = self.coords(npu)
+        if dim is Dimension.LOCAL:
+            return (package,)
+        if dim is Dimension.ALLTOALL:
+            return (local,)
+        raise TopologyError(f"alltoall fabric has no {dim} dimension")
+
+    def switch_for(self, src: int, dst: int) -> SwitchChannel:
+        """Deterministic sender-side switch assignment for an (src, dst) pair.
+
+        Uses the package-distance Latin-square spread: with K switches the
+        pair at package distance d uses switch (d - 1) mod K, so distinct
+        peers of one sender land on distinct switches whenever K >= peers,
+        reproducing the contention-free "one link per peer" setup of
+        Sec. V-A while still modelling switch sharing when K is small.
+        """
+        src_pkg = self.coords(src)[1]
+        dst_pkg = self.coords(dst)[1]
+        if src_pkg == dst_pkg:
+            raise TopologyError(
+                f"intra-package pair {src}->{dst} must use the local dimension"
+            )
+        distance = (dst_pkg - src_pkg) % self.shape.packages
+        return self.switches[(distance - 1) % self.global_switches]

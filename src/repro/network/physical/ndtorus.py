@@ -1,0 +1,221 @@
+"""Generalized N-dimensional hierarchical torus (the paper's future work:
+"expanding this study to other scale-up topologies such as 4D/5D torus
+... will be explored as part of future work", Sec. III-C; "we also plan
+to extend it to a scale-out fabric", Sec. VII).
+
+A fabric is described by an ordered list of :class:`DimensionSpec`, from
+the innermost (fastest links) outward.  Each dimension contributes rings
+over the nodes that share all other coordinates — exactly the 3D torus
+construction generalized to any depth — and each dimension carries its
+own link class, so an outermost ``SCALEOUT`` dimension with
+Ethernet-class links models the paper's scale-out extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.parameters import LinkConfig, NetworkConfig
+from repro.config.units import Clock, DEFAULT_CLOCK
+from repro.dims import Dimension, TRAVERSAL_ORDER
+from repro.errors import TopologyError
+from repro.network.physical.fabric import Fabric
+
+
+@dataclass(frozen=True)
+class DimensionSpec:
+    """One dimension of a generalized hierarchical torus.
+
+    ``rings`` counts physical rings; bidirectional rings contribute two
+    unidirectional channels each.  ``link`` is the link class used by
+    this dimension's rings.
+    """
+
+    dim: Dimension
+    size: int
+    link: LinkConfig
+    rings: int = 1
+    bidirectional: bool = True
+    kind: str = "package"
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise TopologyError(f"dimension {self.dim} size must be >= 1")
+        if self.rings < 1:
+            raise TopologyError(f"dimension {self.dim} needs >= 1 ring")
+        if self.dim is Dimension.ALLTOALL:
+            raise TopologyError(
+                "the alltoall dimension is switch-based; use AllToAllFabric"
+            )
+
+
+class NDTorusFabric(Fabric):
+    """A hierarchical torus with an arbitrary number of ring dimensions."""
+
+    def __init__(
+        self,
+        specs: list[DimensionSpec],
+        network: NetworkConfig,
+        clock: Clock = DEFAULT_CLOCK,
+    ):
+        if not specs:
+            raise TopologyError("need at least one dimension spec")
+        dims = [s.dim for s in specs]
+        if len(set(dims)) != len(dims):
+            raise TopologyError(f"duplicate dimensions: {dims}")
+        order = {d: i for i, d in enumerate(TRAVERSAL_ORDER)}
+        if dims != sorted(dims, key=lambda d: order[d]):
+            raise TopologyError(
+                f"dimension specs must follow traversal order, got {dims}"
+            )
+        num_npus = 1
+        for spec in specs:
+            num_npus *= spec.size
+        super().__init__(num_npus, network, clock)
+        self.specs = list(specs)
+        self._strides = self._compute_strides()
+        self._build()
+
+    # -- coordinates -----------------------------------------------------------
+
+    def _compute_strides(self) -> list[int]:
+        strides = []
+        stride = 1
+        for spec in self.specs:
+            strides.append(stride)
+            stride *= spec.size
+        return strides
+
+    def npu_id(self, coords: tuple[int, ...]) -> int:
+        if len(coords) != len(self.specs):
+            raise TopologyError(
+                f"expected {len(self.specs)} coordinates, got {len(coords)}"
+            )
+        npu = 0
+        for c, spec, stride in zip(coords, self.specs, self._strides):
+            if not 0 <= c < spec.size:
+                raise TopologyError(f"coordinate {c} outside {spec.dim} size")
+            npu += c * stride
+        return npu
+
+    def coords(self, npu: int) -> tuple[int, ...]:
+        if not 0 <= npu < self.num_npus:
+            raise TopologyError(f"npu {npu} out of range")
+        out = []
+        for spec, stride in zip(self.specs, self._strides):
+            out.append((npu // stride) % spec.size)
+        return tuple(out)
+
+    # -- construction ----------------------------------------------------------
+
+    def _build(self) -> None:
+        for axis, spec in enumerate(self.specs):
+            if spec.size < 2:
+                continue
+            for group in self._groups_for_axis(axis):
+                nodes = [
+                    self.npu_id(self._insert(axis, group, i))
+                    for i in range(spec.size)
+                ]
+                rings = []
+                for r in range(spec.rings):
+                    if spec.bidirectional:
+                        rings.append(self._build_ring(
+                            nodes, spec.link, spec.kind,
+                            name=f"{spec.dim}{group}#{r}cw", reverse=False))
+                        rings.append(self._build_ring(
+                            nodes, spec.link, spec.kind,
+                            name=f"{spec.dim}{group}#{r}ccw", reverse=True))
+                    else:
+                        rings.append(self._build_ring(
+                            nodes, spec.link, spec.kind,
+                            name=f"{spec.dim}{group}#{r}",
+                            reverse=bool(r % 2)))
+                self._add_channels(spec.dim, group, rings)
+        if not self.channels:
+            raise TopologyError("degenerate torus: every dimension has size 1")
+
+    def _groups_for_axis(self, axis: int):
+        """All coordinate combinations of the other axes."""
+        sizes = [s.size for i, s in enumerate(self.specs) if i != axis]
+        if not sizes:
+            yield ()
+            return
+        total = 1
+        for s in sizes:
+            total *= s
+        for flat in range(total):
+            coords = []
+            rest = flat
+            for s in sizes:
+                coords.append(rest % s)
+                rest //= s
+            yield tuple(coords)
+
+    @staticmethod
+    def _insert(axis: int, group: tuple[int, ...], value: int) -> tuple[int, ...]:
+        return group[:axis] + (value,) + group[axis:]
+
+    def group_of(self, dim: Dimension, npu: int) -> tuple[int, ...]:
+        for axis, spec in enumerate(self.specs):
+            if spec.dim is dim:
+                coords = self.coords(npu)
+                return coords[:axis] + coords[axis + 1:]
+        raise TopologyError(f"fabric has no {dim} dimension")
+
+
+#: A representative scale-out link: 12.5 GB/s (100 GbE), 2 us latency at
+#: 1 GHz, jumbo-frame packets, typical protocol efficiency.
+DEFAULT_SCALEOUT_LINK = LinkConfig(
+    bandwidth_gbps=12.5,
+    latency_cycles=2000.0,
+    packet_size_bytes=4096,
+    efficiency=0.90,
+)
+
+
+def build_4d_torus(
+    sizes: tuple[int, int, int, int],
+    network: NetworkConfig,
+    local_rings: int = 2,
+    inter_rings: int = 1,
+    clock: Clock = DEFAULT_CLOCK,
+) -> NDTorusFabric:
+    """A 4D torus: local + three inter-package ring dimensions."""
+    local, *inter = sizes
+    dims = [Dimension.VERTICAL, Dimension.HORIZONTAL, Dimension.FOURTH]
+    specs = [DimensionSpec(Dimension.LOCAL, local, network.local_link,
+                           rings=local_rings, bidirectional=False,
+                           kind="local")]
+    specs += [
+        DimensionSpec(dim, size, network.package_link, rings=inter_rings)
+        for dim, size in zip(dims, inter)
+    ]
+    return NDTorusFabric(specs, network, clock)
+
+
+def build_scaleout_torus(
+    scaleup_sizes: tuple[int, int, int],
+    scaleout_size: int,
+    network: NetworkConfig,
+    scaleout_link: LinkConfig = DEFAULT_SCALEOUT_LINK,
+    local_rings: int = 2,
+    inter_rings: int = 1,
+    scaleout_rings: int = 1,
+    clock: Clock = DEFAULT_CLOCK,
+) -> NDTorusFabric:
+    """A scale-up torus replicated over an outermost scale-out dimension
+    (the Sec. VII future-work extension: "extend it to a scale-out fabric
+    (modeling the transport layer, e.g., Ethernet)")."""
+    local, vertical, horizontal = scaleup_sizes
+    specs = [
+        DimensionSpec(Dimension.LOCAL, local, network.local_link,
+                      rings=local_rings, bidirectional=False, kind="local"),
+        DimensionSpec(Dimension.VERTICAL, vertical, network.package_link,
+                      rings=inter_rings),
+        DimensionSpec(Dimension.HORIZONTAL, horizontal, network.package_link,
+                      rings=inter_rings),
+        DimensionSpec(Dimension.SCALEOUT, scaleout_size, scaleout_link,
+                      rings=scaleout_rings, kind="scaleout"),
+    ]
+    return NDTorusFabric(specs, network, clock)

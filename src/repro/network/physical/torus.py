@@ -1,0 +1,127 @@
+"""Hierarchical M x N x K torus fabric (Fig. 3a).
+
+Coordinates: an NPU has (local, horizontal, vertical) = (l, h, v) with
+``npu_id = l + M*h + M*N*v``.  The local dimension is built from
+unidirectional intra-package rings; the horizontal and vertical
+dimensions from bidirectional inter-package rings, each contributing one
+clockwise and one counter-clockwise unidirectional channel (Sec. III-C:
+"Each bidirectional ring is divided into two unidirectional rings").
+"""
+
+from __future__ import annotations
+
+from repro.config.parameters import NetworkConfig, TorusShape
+from repro.config.units import Clock, DEFAULT_CLOCK
+from repro.errors import TopologyError
+from repro.network.physical.fabric import Fabric
+from repro.dims import Dimension
+
+
+class TorusFabric(Fabric):
+    """A physical hierarchical torus with dedicated per-ring links."""
+
+    def __init__(
+        self,
+        shape: TorusShape,
+        network: NetworkConfig,
+        local_rings: int = 2,
+        horizontal_rings: int = 2,
+        vertical_rings: int = 2,
+        clock: Clock = DEFAULT_CLOCK,
+    ):
+        super().__init__(shape.num_npus, network, clock)
+        if local_rings < 1 or horizontal_rings < 1 or vertical_rings < 1:
+            raise TopologyError("ring counts must be >= 1")
+        self.shape = shape
+        self.local_rings = local_rings
+        self.horizontal_rings = horizontal_rings
+        self.vertical_rings = vertical_rings
+        self._build()
+
+    # -- coordinates -----------------------------------------------------------
+
+    def npu_id(self, local: int, horizontal: int, vertical: int) -> int:
+        s = self.shape
+        if not (0 <= local < s.local and 0 <= horizontal < s.horizontal
+                and 0 <= vertical < s.vertical):
+            raise TopologyError(
+                f"coords ({local},{horizontal},{vertical}) outside shape {s}"
+            )
+        return local + s.local * horizontal + s.local * s.horizontal * vertical
+
+    def coords(self, npu: int) -> tuple[int, int, int]:
+        s = self.shape
+        if not 0 <= npu < s.num_npus:
+            raise TopologyError(f"npu {npu} outside shape {s}")
+        local = npu % s.local
+        horizontal = (npu // s.local) % s.horizontal
+        vertical = npu // (s.local * s.horizontal)
+        return local, horizontal, vertical
+
+    # -- construction ----------------------------------------------------------
+
+    def _build(self) -> None:
+        s = self.shape
+        net = self.network
+
+        # Local dimension: `local_rings` unidirectional intra-package rings
+        # per package, alternating direction for link-load balance.
+        if s.local >= 2:
+            for v in range(s.vertical):
+                for h in range(s.horizontal):
+                    nodes = [self.npu_id(l, h, v) for l in range(s.local)]
+                    rings = [
+                        self._build_ring(
+                            nodes, net.local_link, "local",
+                            name=f"local(h={h},v={v})#{r}", reverse=bool(r % 2),
+                        )
+                        for r in range(self.local_rings)
+                    ]
+                    self._add_channels(Dimension.LOCAL, (h, v), rings)
+
+        # Horizontal dimension: bidirectional rings over packages with the
+        # same (local, vertical); each yields a CW and a CCW channel.
+        if s.horizontal >= 2:
+            for v in range(s.vertical):
+                for l in range(s.local):
+                    nodes = [self.npu_id(l, h, v) for h in range(s.horizontal)]
+                    rings = []
+                    for r in range(self.horizontal_rings):
+                        rings.append(self._build_ring(
+                            nodes, net.package_link, "package",
+                            name=f"horizontal(l={l},v={v})#{r}cw", reverse=False))
+                        rings.append(self._build_ring(
+                            nodes, net.package_link, "package",
+                            name=f"horizontal(l={l},v={v})#{r}ccw", reverse=True))
+                    self._add_channels(Dimension.HORIZONTAL, (l, v), rings)
+
+        # Vertical dimension: same construction over (local, horizontal).
+        if s.vertical >= 2:
+            for h in range(s.horizontal):
+                for l in range(s.local):
+                    nodes = [self.npu_id(l, h, v) for v in range(s.vertical)]
+                    rings = []
+                    for r in range(self.vertical_rings):
+                        rings.append(self._build_ring(
+                            nodes, net.package_link, "package",
+                            name=f"vertical(l={l},h={h})#{r}cw", reverse=False))
+                        rings.append(self._build_ring(
+                            nodes, net.package_link, "package",
+                            name=f"vertical(l={l},h={h})#{r}ccw", reverse=True))
+                    self._add_channels(Dimension.VERTICAL, (h, l), rings)
+
+        if not self.channels:
+            raise TopologyError(
+                f"degenerate torus {s}: every dimension has size 1"
+            )
+
+    def group_of(self, dim: Dimension, npu: int) -> tuple[int, ...]:
+        """The group key of ``npu`` within ``dim``."""
+        l, h, v = self.coords(npu)
+        if dim is Dimension.LOCAL:
+            return (h, v)
+        if dim is Dimension.HORIZONTAL:
+            return (l, v)
+        if dim is Dimension.VERTICAL:
+            return (h, l)
+        raise TopologyError(f"torus has no {dim} dimension")

@@ -1,0 +1,15 @@
+"""System layer: scheduler, collective sets, the Sys facade, and stats."""
+
+from repro.system.collective_set import CollectiveSet, split_into_chunks
+from repro.system.scheduler import ReadyChunk, Scheduler
+from repro.system.stats import DelayBreakdown
+from repro.system.sys_layer import System
+
+__all__ = [
+    "CollectiveSet",
+    "DelayBreakdown",
+    "ReadyChunk",
+    "Scheduler",
+    "System",
+    "split_into_chunks",
+]

@@ -1,0 +1,77 @@
+"""System-layer statistics: the queue/network delay breakdowns of the paper.
+
+Fig. 12b and Fig. 16 report, per run or per layer:
+
+* **Queue P0** — time chunks wait in the ready queue before dispatch.
+* **Queue P1..Pk** — per-phase message injection-queue delay (waiting for
+  the phase's dedicated links to finish previously issued chunks).
+* **Network P1..Pk** — per-phase in-network message delay (serialization,
+  propagation, intermediate hops).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.collectives.context import PhaseStats
+from repro.network.message import Message
+
+#: Upper bound on phases any plan produces (enhanced all-reduce = 4).
+MAX_PHASES = 8
+
+
+@dataclass
+class DelayBreakdown:
+    """Aggregated queue/network delays for one scope (a run or one set)."""
+
+    phase_stats: dict[int, PhaseStats] = field(default_factory=dict)
+    ready_queue_delays: list[float] = field(default_factory=list)
+
+    def record_message(self, phase_index: int, message: Message) -> None:
+        stats = self.phase_stats.setdefault(phase_index, PhaseStats())
+        stats.record(message)
+
+    def record_ready_queue(self, delay_cycles: float) -> None:
+        self.ready_queue_delays.append(delay_cycles)
+
+    @property
+    def mean_ready_queue_delay(self) -> float:
+        """Queue P0 in the paper's terminology."""
+        if not self.ready_queue_delays:
+            return 0.0
+        return sum(self.ready_queue_delays) / len(self.ready_queue_delays)
+
+    def mean_queue_delay(self, phase_index: int) -> float:
+        """Queue P<phase_index> (mean per-message link-wait cycles)."""
+        stats = self.phase_stats.get(phase_index)
+        return stats.mean_queue_cycles if stats else 0.0
+
+    def mean_network_delay(self, phase_index: int) -> float:
+        """Network P<phase_index> (mean per-message in-network cycles)."""
+        stats = self.phase_stats.get(phase_index)
+        return stats.mean_network_cycles if stats else 0.0
+
+    @property
+    def num_phases(self) -> int:
+        return max(self.phase_stats, default=0)
+
+    def rows(self) -> list[dict[str, float]]:
+        """Fig. 12b style rows: one dict per phase with queue/network means."""
+        out = [{"phase": 0, "queue": self.mean_ready_queue_delay, "network": 0.0}]
+        for p in range(1, self.num_phases + 1):
+            out.append({
+                "phase": p,
+                "queue": self.mean_queue_delay(p),
+                "network": self.mean_network_delay(p),
+            })
+        return out
+
+    def merge_from(self, other: "DelayBreakdown") -> None:
+        """Fold another breakdown into this one (per-layer -> per-run)."""
+        for p, stats in other.phase_stats.items():
+            mine = self.phase_stats.setdefault(p, PhaseStats())
+            mine.messages += stats.messages
+            mine.queue_cycles += stats.queue_cycles
+            mine.network_cycles += stats.network_cycles
+            mine.bytes += stats.bytes
+        self.ready_queue_delays.extend(other.ready_queue_delays)

@@ -1,0 +1,144 @@
+"""The system layer facade (Fig. 6): collective APIs over the network.
+
+:class:`System` owns the event queue, the network backend, the scheduler
+and the statistics, and exposes the collective API the workload layer
+programs against: :meth:`request_collective` returns a
+:class:`CollectiveSet` whose completion can be awaited via callback.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.collectives.context import CollectiveContext
+from repro.collectives.types import CollectiveOp, build_phase_plan
+from repro.config.parameters import SimulationConfig
+from repro.errors import SimulationError
+from repro.events.engine import EventQueue
+from repro.network.api import NetworkBackend
+from repro.network.fast_backend import FastBackend
+from repro.system.collective_set import CollectiveSet, split_into_chunks
+from repro.system.p2p import P2PEngine, P2PTransfer
+from repro.system.scheduler import Scheduler
+from repro.system.stats import DelayBreakdown
+from repro.dims import Dimension
+from repro.topology.logical import LogicalTopology
+
+
+class System:
+    """One simulated training platform: topology + system layer + network."""
+
+    def __init__(
+        self,
+        topology: LogicalTopology,
+        config: SimulationConfig,
+        backend: Optional[NetworkBackend] = None,
+        events: Optional[EventQueue] = None,
+        trace: bool = False,
+    ):
+        self.topology = topology
+        self.config = config
+        self.events = events if events is not None else EventQueue()
+        if backend is None:
+            network = config.network if config.network is not None else topology.fabric.network
+            backend = FastBackend(self.events, network)
+        self.backend = backend
+        self.breakdown = DelayBreakdown()
+        self.scheduler = Scheduler(
+            topology.fabric, config.system, self.breakdown, now=lambda: self.events.now
+        )
+        #: trace=True retains finished chunk executions so the timeline
+        #: tooling (repro.analysis.trace) can reconstruct phase spans.
+        self.scheduler.keep_completed = trace
+        self.sets: list[CollectiveSet] = []
+        self._p2p: Optional[P2PEngine] = None
+
+    # -- time ----------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.events.now
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """The event queue, exposed upward to the workload layer (Sec. IV)."""
+        self.events.schedule(delay, callback)
+
+    # -- collective API ---------------------------------------------------------------
+
+    def request_collective(
+        self,
+        op: CollectiveOp,
+        size_bytes: float,
+        scope: Optional[Sequence[Dimension]] = None,
+        layer_id: Optional[int] = None,
+        name: str = "",
+        reduction_cycles_per_kb: Optional[float] = None,
+    ) -> CollectiveSet:
+        """Issue one collective set; it is chunked, queued and dispatched
+        by the scheduler, pipelining with everything already in flight."""
+        sys_cfg = self.config.system
+        if reduction_cycles_per_kb is None:
+            reduction_cycles_per_kb = sys_cfg.reduction_cycles_per_kb
+
+        if op is CollectiveOp.NONE:
+            plan = []
+        else:
+            dims = self.topology.dim_sizes(scope)
+            plan = build_phase_plan(op, dims, sys_cfg.algorithm)
+
+        chunk_sizes = split_into_chunks(size_bytes, sys_cfg.preferred_set_splits)
+        collective = CollectiveSet(
+            op=op,
+            total_bytes=float(size_bytes),
+            plan=plan,
+            chunk_sizes=chunk_sizes,
+            scope=tuple(scope) if scope is not None else None,
+            layer_id=layer_id,
+            name=name,
+            reduction_cycles_per_kb=reduction_cycles_per_kb,
+        )
+        ctx = CollectiveContext(
+            self.backend,
+            endpoint_delay_cycles=sys_cfg.endpoint_delay_cycles,
+            reduction_cycles_per_kb=reduction_cycles_per_kb,
+            packet_routing=sys_cfg.packet_routing,
+            injection_policy=sys_cfg.injection_policy,
+            stats_sink=lambda phase, msg, c=collective: self._record(c, phase, msg),
+        )
+        self.sets.append(collective)
+        self.scheduler.enqueue_set(collective, ctx)
+        return collective
+
+    def request_p2p(self, src: int, dst: int, size_bytes: float,
+                    name: str = "") -> P2PTransfer:
+        """Issue a chunked point-to-point transfer (pipeline-parallel
+        activations etc.), routed over the fabric's minimum-latency path."""
+        if self._p2p is None:
+            from repro.network.routing import FabricRouter
+
+            self._p2p = P2PEngine(
+                self.backend,
+                FabricRouter(self.topology.fabric),
+                preferred_splits=min(4, self.config.system.preferred_set_splits),
+            )
+        return self._p2p.send(src, dst, size_bytes, name=name)
+
+    def _record(self, collective: CollectiveSet, phase: int, message) -> None:
+        collective.breakdown.record_message(phase, message)
+        self.breakdown.record_message(phase, message)
+
+    # -- running -------------------------------------------------------------------------
+
+    def run_until_idle(self, max_events: Optional[int] = None) -> float:
+        """Drain the event queue; returns the final simulated time."""
+        self.events.run(max_events=max_events)
+        if not self.scheduler.idle:
+            raise SimulationError(
+                f"event queue drained with {self.scheduler.in_flight_count} chunks "
+                f"in flight and {self.scheduler.ready_count} ready (deadlock?)"
+            )
+        return self.events.now
+
+    def run_until(self, time: float, max_events: Optional[int] = None) -> float:
+        self.events.run(until=time, max_events=max_events)
+        return self.events.now

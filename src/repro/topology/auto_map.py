@@ -1,0 +1,114 @@
+"""Automatic logical-onto-physical topology mapping.
+
+Realizes the Sec. IV-B feature as a one-call operation: take any
+*logical* hierarchical-torus shape and lay its rings over an arbitrary
+*physical* fabric, routing every logical hop along the fabric's
+minimum-latency link path.  Logical hops that are not physically adjacent
+share physical links with other rings — exactly the contention the
+feature exists to study.
+"""
+
+from __future__ import annotations
+
+from repro.config.parameters import TorusShape
+from repro.dims import Dimension
+from repro.errors import TopologyError
+from repro.network.physical.fabric import Fabric
+from repro.network.routing import FabricRouter
+from repro.topology.logical import LogicalTopology
+from repro.topology.mapping import MappedRingChannel
+
+
+class _MappedFabricView(Fabric):
+    """A channel structure borrowed from a host fabric's links.
+
+    Shares the host's links (and thus its contention) but presents the
+    logical shape's dimensions/groups to the system layer.
+    """
+
+    def __init__(self, host: Fabric, shape: TorusShape):
+        # Deliberately skip Fabric.__init__'s link allocation: this view
+        # owns no links of its own.
+        self.num_npus = host.num_npus
+        self.network = host.network
+        self.clock = host.clock
+        self.links = host.links
+        self.channels = {}
+        self._next_switch_id = host._next_switch_id
+        self.shape = shape
+        self._host = host
+
+    def group_of(self, dim: Dimension, npu: int) -> tuple[int, ...]:
+        s = self.shape
+        local = npu % s.local
+        horizontal = (npu // s.local) % s.horizontal
+        vertical = npu // (s.local * s.horizontal)
+        if dim is Dimension.LOCAL:
+            return (horizontal, vertical)
+        if dim is Dimension.HORIZONTAL:
+            return (local, vertical)
+        if dim is Dimension.VERTICAL:
+            return (horizontal, local)
+        raise TopologyError(f"mapped torus has no {dim} dimension")
+
+
+def map_torus_onto_fabric(
+    shape: TorusShape,
+    physical: Fabric,
+    rings_per_dim: int = 1,
+) -> LogicalTopology:
+    """Lay a logical M x N x K torus over ``physical``.
+
+    The logical NPU numbering is the identity (logical node i is physical
+    NPU i); the shape's NPU count must match the fabric's.  Every logical
+    dimension gets ``rings_per_dim`` ring channels whose hops are routed
+    physical paths; channels beyond the first reuse the same paths (the
+    physical links are the shared resource).
+    """
+    if shape.num_npus != physical.num_npus:
+        raise TopologyError(
+            f"logical shape {shape} has {shape.num_npus} NPUs, fabric has "
+            f"{physical.num_npus}"
+        )
+    if rings_per_dim < 1:
+        raise TopologyError("rings_per_dim must be >= 1")
+
+    router = FabricRouter(physical)
+    view = _MappedFabricView(physical, shape)
+
+    def npu_id(l: int, h: int, v: int) -> int:
+        return l + shape.local * h + shape.local * shape.horizontal * v
+
+    def add_rings(dim: Dimension, group: tuple[int, ...], nodes: list[int]) -> None:
+        hop_paths = [
+            router.path(nodes[i], nodes[(i + 1) % len(nodes)])
+            for i in range(len(nodes))
+        ]
+        channels = []
+        for r in range(rings_per_dim):
+            order = list(reversed(nodes)) if r % 2 else list(nodes)
+            paths = ([router.path(order[i], order[(i + 1) % len(order)])
+                      for i in range(len(order))]
+                     if r % 2 else hop_paths)
+            channels.append(MappedRingChannel(
+                order, paths, name=f"mapped-{dim}{group}#{r}"))
+        view._add_channels(dim, group, channels)
+
+    if shape.local >= 2:
+        for v in range(shape.vertical):
+            for h in range(shape.horizontal):
+                add_rings(Dimension.LOCAL, (h, v),
+                          [npu_id(l, h, v) for l in range(shape.local)])
+    if shape.horizontal >= 2:
+        for v in range(shape.vertical):
+            for l in range(shape.local):
+                add_rings(Dimension.HORIZONTAL, (l, v),
+                          [npu_id(l, h, v) for h in range(shape.horizontal)])
+    if shape.vertical >= 2:
+        for h in range(shape.horizontal):
+            for l in range(shape.local):
+                add_rings(Dimension.VERTICAL, (h, l),
+                          [npu_id(l, h, v) for v in range(shape.vertical)])
+    if not view.channels:
+        raise TopologyError(f"degenerate logical shape {shape}")
+    return LogicalTopology(view)

@@ -1,0 +1,104 @@
+"""Logical topology views over physical fabrics.
+
+The system layer "deals with the logical topology, that might be
+completely different from the actual physical network topology"
+(Sec. IV-B).  In the default configuration the mapping is one-to-one:
+:class:`LogicalTopology` simply decorates a fabric with scope handling
+(which dimensions a collective spans — hybrid parallelism restricts
+collectives to subsets of dimensions) and with builder conveniences.
+Non-identity mappings are built with :mod:`repro.topology.mapping`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.config.parameters import (
+    AllToAllShape,
+    NetworkConfig,
+    SystemConfig,
+    TorusShape,
+)
+from repro.config.units import Clock, DEFAULT_CLOCK
+from repro.errors import TopologyError
+from repro.network.physical.alltoall import AllToAllFabric
+from repro.network.physical.fabric import Fabric
+from repro.network.physical.torus import TorusFabric
+from repro.dims import Dimension
+
+
+class LogicalTopology:
+    """A fabric plus collective-facing dimension scoping."""
+
+    def __init__(self, fabric: Fabric):
+        self.fabric = fabric
+
+    @property
+    def num_npus(self) -> int:
+        return self.fabric.num_npus
+
+    @property
+    def dimensions(self) -> list[Dimension]:
+        return self.fabric.dimensions
+
+    def dim_sizes(self, scope: Optional[Sequence[Dimension]] = None) -> list[tuple[Dimension, int]]:
+        """(dimension, size) pairs in traversal order, optionally scoped.
+
+        ``scope=None`` means the collective spans every dimension (pure
+        data parallelism); hybrid parallelism passes the subset of
+        dimensions its group runs across (Sec. V-E).
+        """
+        dims = self.fabric.dimensions
+        if scope is not None:
+            unknown = [d for d in scope if d not in dims]
+            if unknown:
+                raise TopologyError(f"scope dimensions {unknown} not in topology {dims}")
+            dims = [d for d in dims if d in set(scope)]
+        return [(d, self.fabric.dim_size(d)) for d in dims]
+
+    def channels_in(self, dim: Dimension) -> int:
+        """Parallel channels per group of ``dim`` (the LSQ count driver)."""
+        groups = self.fabric.groups(dim)
+        counts = {len(chs) for chs in groups.values()}
+        if len(counts) != 1:
+            raise TopologyError(f"non-uniform channel counts in {dim}: {counts}")
+        return counts.pop()
+
+
+def build_torus_topology(
+    shape: TorusShape,
+    network: NetworkConfig,
+    system: Optional[SystemConfig] = None,
+    clock: Clock = DEFAULT_CLOCK,
+) -> LogicalTopology:
+    """Build a hierarchical torus with ring counts from ``system``
+    (Table III #9-#11); defaults to the Table IV ring counts."""
+    system = system if system is not None else SystemConfig()
+    fabric = TorusFabric(
+        shape,
+        network,
+        local_rings=system.local_rings,
+        horizontal_rings=system.horizontal_rings,
+        vertical_rings=system.vertical_rings,
+        clock=clock,
+    )
+    return LogicalTopology(fabric)
+
+
+def build_alltoall_topology(
+    shape: AllToAllShape,
+    network: NetworkConfig,
+    system: Optional[SystemConfig] = None,
+    clock: Clock = DEFAULT_CLOCK,
+) -> LogicalTopology:
+    """Build a hierarchical alltoall with the configured switch count
+    (Table III #12)."""
+    system = system if system is not None else SystemConfig()
+    fabric = AllToAllFabric(
+        shape,
+        network,
+        local_rings=system.local_rings,
+        global_switches=system.global_switches,
+        clock=clock,
+    )
+    return LogicalTopology(fabric)

@@ -1,0 +1,61 @@
+"""Workload layer: layers, models, parallelism, parser, training loop."""
+
+from repro.workload.layer import NO_COMM, CommSpec, LayerSpec
+from repro.workload.memory import (
+    DEFAULT_HBM_BYTES,
+    MemoryFootprint,
+    estimate_footprint,
+    validate_fits,
+)
+from repro.workload.model import DNNModel
+from repro.workload.parallelism import (
+    DATA_PARALLEL,
+    MODEL_PARALLEL,
+    TRANSFORMER_HYBRID,
+    ParallelismKind,
+    ParallelismStrategy,
+    TrainingPhase,
+    hybrid,
+)
+from repro.workload.generator import GeneratorSpec, synthetic_model
+from repro.workload.parser import dump, dumps, load, loads
+from repro.workload.pipeline import (
+    PipelineReport,
+    PipelineSchedule,
+    PipelineStage,
+    PipelineTrainingLoop,
+    partition_model,
+)
+from repro.workload.training_loop import LayerReport, TrainingLoop, TrainingReport
+
+__all__ = [
+    "CommSpec",
+    "DATA_PARALLEL",
+    "DEFAULT_HBM_BYTES",
+    "DNNModel",
+    "MemoryFootprint",
+    "GeneratorSpec",
+    "LayerReport",
+    "LayerSpec",
+    "MODEL_PARALLEL",
+    "NO_COMM",
+    "ParallelismKind",
+    "ParallelismStrategy",
+    "PipelineReport",
+    "PipelineSchedule",
+    "PipelineStage",
+    "PipelineTrainingLoop",
+    "partition_model",
+    "TRANSFORMER_HYBRID",
+    "TrainingLoop",
+    "TrainingPhase",
+    "TrainingReport",
+    "dump",
+    "dumps",
+    "hybrid",
+    "load",
+    "loads",
+    "estimate_footprint",
+    "synthetic_model",
+    "validate_fits",
+]

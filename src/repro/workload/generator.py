@@ -1,0 +1,86 @@
+"""Synthetic workload generator.
+
+Produces randomized-but-reproducible DNN workloads for stress tests and
+parameter sweeps: the "workload generator" leg of the benchmark harness.
+Layer compute times and communication sizes are drawn log-uniformly from
+configurable ranges with a fixed seed, so a generated workload is fully
+deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.collectives.types import CollectiveOp
+from repro.errors import WorkloadError
+from repro.workload.layer import CommSpec, LayerSpec
+from repro.workload.model import DNNModel
+from repro.workload.parallelism import DATA_PARALLEL, ParallelismStrategy
+
+
+@dataclass(frozen=True)
+class GeneratorSpec:
+    """Ranges the generator draws from (log-uniform)."""
+
+    num_layers: int = 20
+    compute_cycles_range: tuple[float, float] = (10_000.0, 1_000_000.0)
+    comm_bytes_range: tuple[float, float] = (64 * 1024.0, 16 * 1024 * 1024.0)
+    #: Probability that a layer communicates at all in a phase where the
+    #: strategy allows it.
+    comm_probability: float = 1.0
+    local_update_cycles_per_kb: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.num_layers < 1:
+            raise WorkloadError("num_layers must be >= 1")
+        for name, (lo, hi) in (("compute", self.compute_cycles_range),
+                               ("comm", self.comm_bytes_range)):
+            if lo <= 0 or hi < lo:
+                raise WorkloadError(f"bad {name} range ({lo}, {hi})")
+        if not 0 <= self.comm_probability <= 1:
+            raise WorkloadError("comm_probability must be in [0, 1]")
+
+
+def _log_uniform(rng: random.Random, lo: float, hi: float) -> float:
+    import math
+
+    return math.exp(rng.uniform(math.log(lo), math.log(hi)))
+
+
+def synthetic_model(
+    spec: GeneratorSpec | None = None,
+    strategy: ParallelismStrategy = DATA_PARALLEL,
+    seed: int = 0,
+    name: str = "synthetic",
+) -> DNNModel:
+    """Generate a deterministic random workload.
+
+    Data-parallel layers get weight-gradient all-reduces; model/hybrid
+    strategies additionally get activation all-gathers and input-gradient
+    all-reduces, matching Table I.
+    """
+    spec = spec if spec is not None else GeneratorSpec()
+    rng = random.Random(seed)
+    layers = []
+    for i in range(spec.num_layers):
+        fwd, ig, wg = (
+            _log_uniform(rng, *spec.compute_cycles_range) for _ in range(3)
+        )
+
+        def draw_comm(op: CollectiveOp) -> CommSpec:
+            if rng.random() >= spec.comm_probability:
+                return CommSpec()
+            return CommSpec(op, _log_uniform(rng, *spec.comm_bytes_range))
+
+        layers.append(LayerSpec(
+            name=f"synthetic{i}",
+            forward_cycles=fwd,
+            input_grad_cycles=ig,
+            weight_grad_cycles=wg,
+            forward_comm=draw_comm(CollectiveOp.ALL_GATHER),
+            input_grad_comm=draw_comm(CollectiveOp.ALL_REDUCE),
+            weight_grad_comm=draw_comm(CollectiveOp.ALL_REDUCE),
+            local_update_cycles_per_kb=spec.local_update_cycles_per_kb,
+        ))
+    return DNNModel(name=name, layers=tuple(layers), strategy=strategy)

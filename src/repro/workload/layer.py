@@ -1,0 +1,73 @@
+"""Layer descriptors: the per-layer rows of the Fig. 8 workload file.
+
+Each layer carries three compute delays (forward pass, input-gradient,
+weight-gradient), three communication descriptors (one per training
+phase, each a collective type plus size), and the local update time —
+the average cycles to process/reduce 1 KB of communicated data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.collectives.types import CollectiveOp
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class CommSpec:
+    """One communication requirement: a collective and its payload size."""
+
+    op: CollectiveOp = CollectiveOp.NONE
+    size_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.op is CollectiveOp.NONE and self.size_bytes != 0:
+            raise WorkloadError(
+                f"NONE communication must have zero size, got {self.size_bytes}"
+            )
+        if self.op is not CollectiveOp.NONE and self.size_bytes <= 0:
+            raise WorkloadError(
+                f"{self.op.value} communication needs a positive size"
+            )
+        if self.size_bytes < 0:
+            raise WorkloadError(f"size must be >= 0: {self.size_bytes}")
+
+    @property
+    def active(self) -> bool:
+        return self.op is not CollectiveOp.NONE and self.size_bytes > 0
+
+
+NO_COMM = CommSpec()
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """One DNN layer as the workload layer sees it (Fig. 8 row)."""
+
+    name: str
+    forward_cycles: float
+    input_grad_cycles: float
+    weight_grad_cycles: float
+    forward_comm: CommSpec = NO_COMM
+    input_grad_comm: CommSpec = NO_COMM
+    weight_grad_comm: CommSpec = NO_COMM
+    local_update_cycles_per_kb: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise WorkloadError("layer name must be non-empty")
+        for attr in ("forward_cycles", "input_grad_cycles", "weight_grad_cycles"):
+            if getattr(self, attr) < 0:
+                raise WorkloadError(f"{attr} must be >= 0 in layer {self.name}")
+        if self.local_update_cycles_per_kb < 0:
+            raise WorkloadError(f"local update time must be >= 0 in {self.name}")
+
+    @property
+    def total_compute_cycles(self) -> float:
+        return self.forward_cycles + self.input_grad_cycles + self.weight_grad_cycles
+
+    @property
+    def total_comm_bytes(self) -> float:
+        return (self.forward_comm.size_bytes + self.input_grad_comm.size_bytes
+                + self.weight_grad_comm.size_bytes)

@@ -1,0 +1,54 @@
+"""The DNN model container handed to the training loop."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.workload.layer import LayerSpec
+from repro.workload.parallelism import ParallelismStrategy
+
+
+@dataclass(frozen=True)
+class DNNModel:
+    """A named sequence of layers plus the parallelization strategy.
+
+    This is the in-memory form of the Fig. 8 workload input file; use
+    :mod:`repro.workload.parser` to read/write the text format.
+    """
+
+    name: str
+    layers: tuple[LayerSpec, ...]
+    strategy: ParallelismStrategy
+    minibatch: int = 32
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise WorkloadError("model name must be non-empty")
+        if not self.layers:
+            raise WorkloadError(f"model {self.name} has no layers")
+        if self.minibatch < 1:
+            raise WorkloadError(f"minibatch must be >= 1, got {self.minibatch}")
+        names = [layer.name for layer in self.layers]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise WorkloadError(f"duplicate layer names in {self.name}: {dupes}")
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    @property
+    def total_compute_cycles(self) -> float:
+        """Single-NPU compute for one iteration (fwd + both gradients)."""
+        return sum(layer.total_compute_cycles for layer in self.layers)
+
+    @property
+    def total_comm_bytes(self) -> float:
+        return sum(layer.total_comm_bytes for layer in self.layers)
+
+    def layer(self, name: str) -> LayerSpec:
+        for candidate in self.layers:
+            if candidate.name == name:
+                return candidate
+        raise WorkloadError(f"model {self.name} has no layer named {name!r}")

@@ -1,0 +1,114 @@
+"""Parallelization strategies and their communication behaviour (Sec. III-A).
+
+Table I of the paper:
+
+============  =======================  ================  ===============
+Parallelism   Activations (forward)    Weight gradients  Input gradients
+============  =======================  ================  ===============
+Data          --                       yes               --
+Model         yes                      --                yes
+Hybrid        partially                partially         partially
+============  =======================  ================  ===============
+
+A strategy answers two questions for the training loop: over which
+topology dimensions does each training-phase communication run, and is it
+blocking (activations / input gradients stall the next layer) or
+overlappable (weight gradients are only needed by the next iteration).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import WorkloadError
+from repro.dims import Dimension
+
+
+class TrainingPhase(enum.Enum):
+    """The three per-layer phases of the training task (Sec. II)."""
+
+    FORWARD = "fwd"
+    INPUT_GRAD = "input_grad"
+    WEIGHT_GRAD = "weight_grad"
+
+
+class ParallelismKind(enum.Enum):
+    DATA = "DATA"
+    MODEL = "MODEL"
+    HYBRID = "HYBRID"
+
+
+@dataclass(frozen=True)
+class ParallelismStrategy:
+    """Maps training-phase communications to topology-dimension scopes.
+
+    ``data_dims`` / ``model_dims``: topology dimensions across which the
+    strategy replicates the model / splits the model.  ``None`` means all
+    dimensions (pure data or pure model parallelism).  The Fig. 13
+    Transformer setup is hybrid: data-parallel across local and
+    horizontal, model-parallel across vertical.
+    """
+
+    kind: ParallelismKind
+    data_dims: Optional[tuple[Dimension, ...]] = None
+    model_dims: Optional[tuple[Dimension, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.kind is ParallelismKind.HYBRID:
+            if not self.data_dims or not self.model_dims:
+                raise WorkloadError(
+                    "hybrid parallelism must name both data_dims and model_dims"
+                )
+            overlap = set(self.data_dims) & set(self.model_dims)
+            if overlap:
+                raise WorkloadError(f"dimensions in both groups: {overlap}")
+        if self.kind is ParallelismKind.DATA and self.model_dims:
+            raise WorkloadError("data parallelism takes no model_dims")
+        if self.kind is ParallelismKind.MODEL and self.data_dims:
+            raise WorkloadError("model parallelism takes no data_dims")
+
+    # -- per-phase behaviour -------------------------------------------------------
+
+    def communicates(self, phase: TrainingPhase) -> bool:
+        """Table I: does this strategy exchange data in ``phase`` at all?"""
+        if self.kind is ParallelismKind.DATA:
+            return phase is TrainingPhase.WEIGHT_GRAD
+        if self.kind is ParallelismKind.MODEL:
+            return phase in (TrainingPhase.FORWARD, TrainingPhase.INPUT_GRAD)
+        return True  # hybrid: partially, in every phase
+
+    def scope(self, phase: TrainingPhase) -> Optional[tuple[Dimension, ...]]:
+        """Topology dimensions the ``phase`` communication spans
+        (``None`` = all dimensions)."""
+        if self.kind is ParallelismKind.DATA:
+            return None
+        if self.kind is ParallelismKind.MODEL:
+            return None
+        if phase is TrainingPhase.WEIGHT_GRAD:
+            return self.data_dims
+        return self.model_dims
+
+    def blocking(self, phase: TrainingPhase) -> bool:
+        """Activation and input-gradient exchanges block the dependent
+        layer; weight gradients overlap with ongoing back-propagation and
+        are awaited only by the next iteration (Sec. III-E)."""
+        return phase is not TrainingPhase.WEIGHT_GRAD
+
+
+DATA_PARALLEL = ParallelismStrategy(ParallelismKind.DATA)
+MODEL_PARALLEL = ParallelismStrategy(ParallelismKind.MODEL)
+
+
+def hybrid(data_dims: tuple[Dimension, ...], model_dims: tuple[Dimension, ...]) -> ParallelismStrategy:
+    """The hybrid strategy splitting the topology dimensions in two groups."""
+    return ParallelismStrategy(ParallelismKind.HYBRID, data_dims, model_dims)
+
+
+#: The paper's Fig. 13 Transformer configuration: data-parallel across the
+#: local and horizontal dimensions, model-parallel across vertical.
+TRANSFORMER_HYBRID = hybrid(
+    data_dims=(Dimension.LOCAL, Dimension.HORIZONTAL),
+    model_dims=(Dimension.VERTICAL,),
+)

@@ -1,0 +1,219 @@
+"""Reader/writer for the workload input file of Fig. 8.
+
+The text format mirrors the paper's figure: a parallelism header, the
+layer count, then a five-line block per layer::
+
+    HYBRID data:local,horizontal model:vertical
+    2
+    encoder1
+    12000 11000 13000
+    ALLGATHER ALLREDUCE ALLREDUCE
+    4194304 4194304 50331648
+    1.0
+    encoder2
+    ...
+
+Line 1 of a block is the layer name; line 2 the compute times (cycles)
+for <Fwd Pass> <Input Grad> <Weight Grad>; line 3 the collective type per
+phase; line 4 the communication sizes (bytes) per phase; line 5 the local
+update time (cycles per 1 KB of communicated data).
+"""
+
+from __future__ import annotations
+
+
+from repro.collectives.types import CollectiveOp
+from repro.errors import WorkloadError
+from repro.dims import Dimension
+from repro.workload.layer import CommSpec, LayerSpec
+from repro.workload.model import DNNModel
+from repro.workload.parallelism import (
+    DATA_PARALLEL,
+    MODEL_PARALLEL,
+    ParallelismKind,
+    ParallelismStrategy,
+    hybrid,
+)
+
+_OP_TOKENS = {
+    "NONE": CollectiveOp.NONE,
+    "ALLREDUCE": CollectiveOp.ALL_REDUCE,
+    "ALLGATHER": CollectiveOp.ALL_GATHER,
+    "REDUCESCATTER": CollectiveOp.REDUCE_SCATTER,
+    "ALLTOALL": CollectiveOp.ALL_TO_ALL,
+}
+_TOKEN_FOR_OP = {op: token for token, op in _OP_TOKENS.items()}
+
+
+def _parse_op(token: str, line_no: int) -> CollectiveOp:
+    try:
+        return _OP_TOKENS[token.upper()]
+    except KeyError:
+        raise WorkloadError(
+            f"line {line_no}: unknown collective type {token!r} "
+            f"(expected one of {sorted(_OP_TOKENS)})"
+        ) from None
+
+
+def _parse_dims(spec: str, line_no: int) -> tuple[Dimension, ...]:
+    dims = []
+    for token in spec.split(","):
+        token = token.strip().lower()
+        try:
+            dims.append(Dimension(token))
+        except ValueError:
+            raise WorkloadError(
+                f"line {line_no}: unknown dimension {token!r}"
+            ) from None
+    return tuple(dims)
+
+
+def _parse_strategy(line: str, line_no: int) -> ParallelismStrategy:
+    parts = line.split()
+    kind_token = parts[0].upper()
+    if kind_token == "DATA":
+        return DATA_PARALLEL
+    if kind_token == "MODEL":
+        return MODEL_PARALLEL
+    if kind_token != "HYBRID":
+        raise WorkloadError(
+            f"line {line_no}: unknown parallelism {parts[0]!r} "
+            "(expected DATA, MODEL or HYBRID)"
+        )
+    data_dims = model_dims = None
+    for part in parts[1:]:
+        if part.startswith("data:"):
+            data_dims = _parse_dims(part[len("data:"):], line_no)
+        elif part.startswith("model:"):
+            model_dims = _parse_dims(part[len("model:"):], line_no)
+        else:
+            raise WorkloadError(f"line {line_no}: unexpected token {part!r}")
+    if data_dims is None or model_dims is None:
+        raise WorkloadError(
+            f"line {line_no}: HYBRID needs 'data:<dims> model:<dims>'"
+        )
+    return hybrid(data_dims, model_dims)
+
+
+def _comm(op: CollectiveOp, size: float) -> CommSpec:
+    if op is CollectiveOp.NONE:
+        return CommSpec()
+    return CommSpec(op, size)
+
+
+def loads(text: str, name: str = "workload", minibatch: int = 32) -> DNNModel:
+    """Parse a Fig. 8 workload description into a :class:`DNNModel`."""
+    lines: list[tuple[int, str]] = []
+    for i, raw in enumerate(text.splitlines(), start=1):
+        stripped = raw.split("#", 1)[0].strip()
+        if stripped:
+            lines.append((i, stripped))
+    if len(lines) < 2:
+        raise WorkloadError("workload file needs a parallelism line and a layer count")
+
+    cursor = 0
+
+    def next_line() -> tuple[int, str]:
+        nonlocal cursor
+        if cursor >= len(lines):
+            raise WorkloadError("unexpected end of workload file")
+        entry = lines[cursor]
+        cursor += 1
+        return entry
+
+    line_no, strategy_line = next_line()
+    strategy = _parse_strategy(strategy_line, line_no)
+
+    line_no, count_line = next_line()
+    try:
+        num_layers = int(count_line)
+    except ValueError:
+        raise WorkloadError(f"line {line_no}: bad layer count {count_line!r}") from None
+    if num_layers < 1:
+        raise WorkloadError(f"line {line_no}: layer count must be >= 1")
+
+    layers = []
+    for _ in range(num_layers):
+        _, layer_name = next_line()
+        line_no, compute_line = next_line()
+        try:
+            fwd_c, ig_c, wg_c = (float(tok) for tok in compute_line.split())
+        except ValueError:
+            raise WorkloadError(
+                f"line {line_no}: expected three compute times, got {compute_line!r}"
+            ) from None
+        line_no, ops_line = next_line()
+        op_tokens = ops_line.split()
+        if len(op_tokens) != 3:
+            raise WorkloadError(
+                f"line {line_no}: expected three collective types, got {ops_line!r}"
+            )
+        fwd_op, ig_op, wg_op = (_parse_op(tok, line_no) for tok in op_tokens)
+        line_no, sizes_line = next_line()
+        try:
+            fwd_s, ig_s, wg_s = (float(tok) for tok in sizes_line.split())
+        except ValueError:
+            raise WorkloadError(
+                f"line {line_no}: expected three sizes, got {sizes_line!r}"
+            ) from None
+        line_no, update_line = next_line()
+        try:
+            local_update = float(update_line)
+        except ValueError:
+            raise WorkloadError(
+                f"line {line_no}: bad local update time {update_line!r}"
+            ) from None
+
+        layers.append(LayerSpec(
+            name=layer_name,
+            forward_cycles=fwd_c,
+            input_grad_cycles=ig_c,
+            weight_grad_cycles=wg_c,
+            forward_comm=_comm(fwd_op, fwd_s),
+            input_grad_comm=_comm(ig_op, ig_s),
+            weight_grad_comm=_comm(wg_op, wg_s),
+            local_update_cycles_per_kb=local_update,
+        ))
+
+    if cursor != len(lines):
+        extra = lines[cursor][0]
+        raise WorkloadError(f"line {extra}: trailing content after last layer")
+    return DNNModel(name=name, layers=tuple(layers), strategy=strategy,
+                    minibatch=minibatch)
+
+
+def load(path, name: str | None = None, minibatch: int = 32) -> DNNModel:
+    """Read a workload file from disk."""
+    with open(path) as f:
+        text = f.read()
+    return loads(text, name=name or str(path), minibatch=minibatch)
+
+
+def dumps(model: DNNModel) -> str:
+    """Serialize a model back to the Fig. 8 text format (round-trips with
+    :func:`loads` up to floating-point formatting)."""
+    strategy = model.strategy
+    if strategy.kind is ParallelismKind.HYBRID:
+        data = ",".join(str(d) for d in strategy.data_dims)
+        mdl = ",".join(str(d) for d in strategy.model_dims)
+        header = f"HYBRID data:{data} model:{mdl}"
+    else:
+        header = strategy.kind.value
+
+    out = [header, str(model.num_layers)]
+    for layer in model.layers:
+        out.append(layer.name)
+        out.append(f"{layer.forward_cycles:.17g} {layer.input_grad_cycles:.17g} "
+                   f"{layer.weight_grad_cycles:.17g}")
+        out.append(" ".join(_TOKEN_FOR_OP[c.op] for c in (
+            layer.forward_comm, layer.input_grad_comm, layer.weight_grad_comm)))
+        out.append(f"{layer.forward_comm.size_bytes:.17g} "
+                   f"{layer.input_grad_comm.size_bytes:.17g} "
+                   f"{layer.weight_grad_comm.size_bytes:.17g}")
+        out.append(f"{layer.local_update_cycles_per_kb:.17g}")
+    return "\n".join(out) + "\n"
+
+
+def dump(model: DNNModel, path) -> None:
+    with open(path, "w") as f:
+        f.write(dumps(model))

@@ -1,0 +1,344 @@
+"""Pipeline parallelism (Sec. III-A lists it alongside data and model
+parallelism as a core partitioning strategy).
+
+A GPipe-style schedule: the model's layers are partitioned into
+contiguous *stages*, each pinned to one NPU; a minibatch splits into
+microbatches that stream through the stages.  Activations flow forward
+and gradients backward as point-to-point transfers over the fabric's
+routed paths, and each stage is a serial compute resource — so the
+simulation reproduces the pipeline *bubble*: for uniform stages the idle
+fraction approaches (S-1)/(M+S-1).
+
+The loop is dependency-driven: a stage executes ready tasks in arrival
+order, a forward task becomes ready when its activation lands, a backward
+task when its output gradient lands.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import WorkloadError
+from repro.system.sys_layer import System
+from repro.workload.model import DNNModel
+
+
+@dataclass(frozen=True)
+class PipelineStage:
+    """One pipeline stage: its NPU and per-microbatch costs."""
+
+    index: int
+    node: int
+    forward_cycles: float
+    backward_cycles: float
+    #: Activation bytes sent to the next stage per microbatch (unused for
+    #: the last stage); the gradient flowing back is the same size.
+    activation_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.forward_cycles < 0 or self.backward_cycles < 0:
+            raise WorkloadError(f"stage {self.index}: compute must be >= 0")
+        if self.activation_bytes < 0:
+            raise WorkloadError(f"stage {self.index}: activation bytes < 0")
+
+
+class PipelineSchedule(str, enum.Enum):
+    """Microbatch schedules.
+
+    GPIPE admits every microbatch into the pipeline immediately (all
+    forwards stream in, backwards follow) — maximal throughput, O(M)
+    stashed activations on the early stages.  ONE_F_ONE_B caps each
+    stage's in-flight forwards at its pipeline depth (S - index) and
+    prefers a ready backward over a ready forward, bounding stashed
+    activations at O(S) per stage with the same steady-state throughput.
+    """
+
+    GPIPE = "gpipe"
+    ONE_F_ONE_B = "1f1b"
+
+
+@dataclass
+class StageReport:
+    """Per-stage accounting across the run."""
+
+    index: int
+    node: int
+    busy_cycles: float = 0.0
+    forward_tasks: int = 0
+    backward_tasks: int = 0
+    #: Peak number of microbatches forwarded but not yet backwarded here —
+    #: the activation-stash high-water mark (the 1F1B motivation).
+    peak_stashed_activations: int = 0
+
+
+@dataclass
+class PipelineReport:
+    """The result of a pipeline-parallel run."""
+
+    num_stages: int
+    num_microbatches: int
+    num_iterations: int
+    total_cycles: float
+    stages: list[StageReport]
+    comm_cycles: float
+
+    @property
+    def busy_cycles(self) -> float:
+        return sum(s.busy_cycles for s in self.stages)
+
+    @property
+    def bubble_fraction(self) -> float:
+        """Mean per-stage idle fraction — the pipeline bubble."""
+        capacity = self.num_stages * self.total_cycles
+        return 1.0 - self.busy_cycles / capacity if capacity else 0.0
+
+    @property
+    def ideal_bubble_fraction(self) -> float:
+        """GPipe's (S-1)/(M+S-1) for uniform stages and free communication."""
+        s, m = self.num_stages, self.num_microbatches
+        return (s - 1) / (m + s - 1)
+
+
+@dataclass
+class _Task:
+    kind: str  # "fwd" | "bwd"
+    microbatch: int
+    seq: int = 0
+
+
+class PipelineTrainingLoop:
+    """Runs GPipe-style pipeline-parallel training on a simulated system."""
+
+    def __init__(
+        self,
+        system: System,
+        stages: Sequence[PipelineStage],
+        num_microbatches: int,
+        num_iterations: int = 1,
+        schedule: PipelineSchedule = PipelineSchedule.GPIPE,
+    ):
+        if len(stages) < 2:
+            raise WorkloadError("a pipeline needs >= 2 stages")
+        if num_microbatches < 1:
+            raise WorkloadError("num_microbatches must be >= 1")
+        if num_iterations < 1:
+            raise WorkloadError("num_iterations must be >= 1")
+        indices = [s.index for s in stages]
+        if indices != list(range(len(stages))):
+            raise WorkloadError(f"stage indices must be 0..S-1, got {indices}")
+        nodes = [s.node for s in stages]
+        if len(set(nodes)) != len(nodes):
+            raise WorkloadError(f"stages must map to distinct NPUs: {nodes}")
+        self.system = system
+        self.stages = list(stages)
+        self.num_microbatches = num_microbatches
+        self.num_iterations = num_iterations
+        self.schedule = schedule
+
+        self._queues: list[deque[_Task]] = [deque() for _ in stages]
+        self._busy: list[bool] = [False] * len(stages)
+        self._reports = [StageReport(s.index, s.node) for s in stages]
+        self._completed_microbatches = 0
+        self._iteration = 0
+        self._finished = False
+        self._comm_cycles = 0.0
+        self._seq = 0
+        self._admitted = 0
+        self._stashed = [0] * len(stages)
+
+    # -- public ---------------------------------------------------------------
+
+    def run(self, max_events: Optional[int] = None) -> PipelineReport:
+        self._start_iteration()
+        self.system.events.run(max_events=max_events)
+        if not self._finished:
+            raise WorkloadError(
+                "event queue drained before the pipeline finished "
+                "(a transfer or task never completed)"
+            )
+        return PipelineReport(
+            num_stages=len(self.stages),
+            num_microbatches=self.num_microbatches,
+            num_iterations=self.num_iterations,
+            total_cycles=self.system.now,
+            stages=self._reports,
+            comm_cycles=self._comm_cycles,
+        )
+
+    # -- scheduling ------------------------------------------------------------
+
+    def _start_iteration(self) -> None:
+        if self.schedule is PipelineSchedule.GPIPE:
+            for m in range(self.num_microbatches):
+                self._admit(m)
+        else:
+            # 1F1B warm-up: fill the pipeline depth, then pace admissions
+            # off backward completions at stage 0.
+            for m in range(min(len(self.stages), self.num_microbatches)):
+                self._admit(m)
+
+    def _admit(self, microbatch: int) -> None:
+        self._admitted += 1
+        self._enqueue(0, _Task("fwd", microbatch))
+
+    def _maybe_admit_next(self) -> None:
+        if (self.schedule is PipelineSchedule.ONE_F_ONE_B
+                and self._admitted < self.num_microbatches * (self._iteration + 1)):
+            self._admit(self._admitted % self.num_microbatches)
+
+    def _enqueue(self, stage_idx: int, task: _Task) -> None:
+        task.seq = self._seq
+        self._seq += 1
+        self._queues[stage_idx].append(task)
+        self._maybe_start(stage_idx)
+
+    def _pick_task(self, stage_idx: int) -> _Task:
+        queue = self._queues[stage_idx]
+        if self.schedule is PipelineSchedule.ONE_F_ONE_B:
+            for i, task in enumerate(queue):
+                if task.kind == "bwd":
+                    del queue[i]
+                    return task
+        return queue.popleft()
+
+    def _maybe_start(self, stage_idx: int) -> None:
+        if self._busy[stage_idx] or not self._queues[stage_idx]:
+            return
+        task = self._pick_task(stage_idx)
+        stage = self.stages[stage_idx]
+        cycles = (stage.forward_cycles if task.kind == "fwd"
+                  else stage.backward_cycles)
+        self._busy[stage_idx] = True
+        report = self._reports[stage_idx]
+        report.busy_cycles += cycles
+        if task.kind == "fwd":
+            report.forward_tasks += 1
+        else:
+            report.backward_tasks += 1
+        self.system.schedule(
+            cycles, lambda: self._task_done(stage_idx, task)
+        )
+
+    def _task_done(self, stage_idx: int, task: _Task) -> None:
+        self._busy[stage_idx] = False
+        if task.kind == "fwd":
+            self._after_forward(stage_idx, task.microbatch)
+        else:
+            self._after_backward(stage_idx, task.microbatch)
+        self._maybe_start(stage_idx)
+
+    def _after_forward(self, stage_idx: int, microbatch: int) -> None:
+        self._stashed[stage_idx] += 1
+        report = self._reports[stage_idx]
+        report.peak_stashed_activations = max(
+            report.peak_stashed_activations, self._stashed[stage_idx])
+        stage = self.stages[stage_idx]
+        if stage_idx + 1 < len(self.stages):
+            transfer = self.system.request_p2p(
+                stage.node, self.stages[stage_idx + 1].node,
+                stage.activation_bytes,
+                name=f"act(s{stage_idx}->s{stage_idx + 1}, m{microbatch})",
+            )
+            transfer.on_complete(
+                lambda t, s=stage_idx + 1, m=microbatch: self._on_activation(s, m, t)
+            )
+        else:
+            # Last stage: loss computed, backward of this microbatch is ready.
+            self._enqueue(stage_idx, _Task("bwd", microbatch))
+
+    def _on_activation(self, stage_idx: int, microbatch: int, transfer) -> None:
+        self._comm_cycles += transfer.duration_cycles
+        self._enqueue(stage_idx, _Task("fwd", microbatch))
+
+    def _after_backward(self, stage_idx: int, microbatch: int) -> None:
+        self._stashed[stage_idx] -= 1
+        if stage_idx > 0:
+            prev = self.stages[stage_idx - 1]
+            transfer = self.system.request_p2p(
+                self.stages[stage_idx].node, prev.node,
+                prev.activation_bytes,
+                name=f"grad(s{stage_idx}->s{stage_idx - 1}, m{microbatch})",
+            )
+            transfer.on_complete(
+                lambda t, s=stage_idx - 1, m=microbatch: self._on_gradient(s, m, t)
+            )
+        else:
+            self._completed_microbatches += 1
+            self._maybe_admit_next()
+            if self._completed_microbatches == self.num_microbatches:
+                self._end_iteration()
+
+    def _on_gradient(self, stage_idx: int, microbatch: int, transfer) -> None:
+        self._comm_cycles += transfer.duration_cycles
+        self._enqueue(stage_idx, _Task("bwd", microbatch))
+
+    def _end_iteration(self) -> None:
+        self._iteration += 1
+        self._completed_microbatches = 0
+        self._admitted = self.num_microbatches * self._iteration
+        if self._iteration < self.num_iterations:
+            self._start_iteration()
+        else:
+            self._finished = True
+
+
+def partition_model(
+    model: DNNModel,
+    nodes: Sequence[int],
+    num_microbatches: int,
+    activation_bytes: float,
+) -> list[PipelineStage]:
+    """Partition a model's layers into balanced contiguous stages.
+
+    Greedy split on cumulative compute: each stage takes layers until it
+    reaches its share of the total.  Per-microbatch compute is the stage's
+    minibatch compute divided by the microbatch count; backward combines
+    the input- and weight-gradient passes.
+    """
+    if len(nodes) < 2:
+        raise WorkloadError("need >= 2 stage nodes")
+    if num_microbatches < 1:
+        raise WorkloadError("num_microbatches must be >= 1")
+    if activation_bytes <= 0:
+        raise WorkloadError("activation_bytes must be positive")
+    if len(nodes) > model.num_layers:
+        raise WorkloadError(
+            f"{len(nodes)} stages need at least that many layers "
+            f"(model has {model.num_layers})"
+        )
+
+    total = model.total_compute_cycles
+    share = total / len(nodes)
+    stages = []
+    layer_iter = iter(model.layers)
+    current: list = []
+    accumulated = 0.0
+    remaining_layers = model.num_layers
+    remaining_stages = len(nodes)
+    for layer in model.layers:
+        current.append(layer)
+        accumulated += layer.total_compute_cycles
+        remaining_layers -= 1
+        boundary = accumulated >= share * (len(stages) + 1)
+        must_close = remaining_layers == remaining_stages - len(stages) - 1
+        if (boundary or must_close) and len(stages) < len(nodes) - 1:
+            stages.append(current)
+            current = []
+    stages.append(current)
+
+    out = []
+    for idx, (node, layers) in enumerate(zip(nodes, stages)):
+        fwd = sum(l.forward_cycles for l in layers) / num_microbatches
+        bwd = sum(l.input_grad_cycles + l.weight_grad_cycles
+                  for l in layers) / num_microbatches
+        out.append(PipelineStage(
+            index=idx,
+            node=node,
+            forward_cycles=fwd,
+            backward_cycles=bwd,
+            activation_bytes=activation_bytes / num_microbatches,
+        ))
+    return out

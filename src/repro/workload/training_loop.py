@@ -1,0 +1,257 @@
+"""The workload layer's training loop (Sec. IV-A).
+
+Drives ``num_iterations`` of synchronous training over a
+:class:`repro.system.System`:
+
+* **Forward pass** — layer by layer; before computing layer *i* the loop
+  must wait for that layer's weight-gradient collective from the previous
+  iteration (this wait is the *exposed* communication of Fig. 15);
+  model/hybrid-parallel layers then exchange output activations, which
+  blocks the next layer.
+* **Back-propagation** — from the last layer backwards; each layer
+  computes its weight gradient, issues the weight-gradient collective
+  *asynchronously* (overlapping with the remaining back-propagation,
+  Sec. III-E), computes its input gradient, and — for model/hybrid
+  parallelism — blocks on the input-gradient exchange before moving on.
+
+The loop is written in continuation-passing style over the simulator's
+event queue: every wait is a callback, so communication genuinely
+overlaps compute inside the discrete-event simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import WorkloadError
+from repro.system.collective_set import CollectiveSet
+from repro.system.sys_layer import System
+from repro.workload.layer import CommSpec
+from repro.workload.model import DNNModel
+from repro.workload.parallelism import TrainingPhase
+
+
+@dataclass
+class LayerReport:
+    """Per-layer accounting across the whole run (all iterations)."""
+
+    name: str
+    compute_cycles: dict[TrainingPhase, float] = field(
+        default_factory=lambda: {p: 0.0 for p in TrainingPhase}
+    )
+    comm_cycles: dict[TrainingPhase, float] = field(
+        default_factory=lambda: {p: 0.0 for p in TrainingPhase}
+    )
+    comm_bytes: dict[TrainingPhase, float] = field(
+        default_factory=lambda: {p: 0.0 for p in TrainingPhase}
+    )
+    exposed_cycles: float = 0.0
+    sets: list[CollectiveSet] = field(default_factory=list)
+
+    @property
+    def total_compute_cycles(self) -> float:
+        return sum(self.compute_cycles.values())
+
+    @property
+    def total_comm_cycles(self) -> float:
+        """Raw communication time (Figs. 13/14): the sum of this layer's
+        collective durations, whether or not they overlapped compute."""
+        return sum(self.comm_cycles.values())
+
+
+@dataclass
+class TrainingReport:
+    """The run-level result returned by :meth:`TrainingLoop.run`."""
+
+    model_name: str
+    num_iterations: int
+    total_cycles: float
+    layers: list[LayerReport]
+    iteration_ends: list[float]
+
+    @property
+    def total_compute_cycles(self) -> float:
+        return sum(layer.total_compute_cycles for layer in self.layers)
+
+    @property
+    def total_exposed_cycles(self) -> float:
+        return sum(layer.exposed_cycles for layer in self.layers)
+
+    @property
+    def total_comm_cycles(self) -> float:
+        return sum(layer.total_comm_cycles for layer in self.layers)
+
+    @property
+    def exposed_comm_ratio(self) -> float:
+        """Exposed communication share of busy time (Figs. 17/18)."""
+        busy = self.total_compute_cycles + self.total_exposed_cycles
+        return self.total_exposed_cycles / busy if busy else 0.0
+
+
+class TrainingLoop:
+    """Runs a DNN training workload on a simulated platform."""
+
+    def __init__(self, system: System, model: DNNModel, num_iterations: int = 1):
+        if num_iterations < 1:
+            raise WorkloadError(f"num_iterations must be >= 1, got {num_iterations}")
+        self.system = system
+        self.model = model
+        self.num_iterations = num_iterations
+        self._reports = [LayerReport(layer.name) for layer in model.layers]
+        self._wg_pending: dict[int, CollectiveSet] = {}
+        self._iteration = 0
+        self._iteration_ends: list[float] = []
+        self._finished = False
+
+    # -- public -----------------------------------------------------------------------
+
+    def run(self, max_events: Optional[int] = None) -> TrainingReport:
+        """Run all iterations to completion and return the report."""
+        self._start_forward(0)
+        self.system.events.run(max_events=max_events)
+        if not self._finished:
+            raise WorkloadError(
+                "event queue drained before the training loop finished "
+                "(a collective never completed — likely a deadlock)"
+            )
+        return TrainingReport(
+            model_name=self.model.name,
+            num_iterations=self.num_iterations,
+            total_cycles=self.system.now,
+            layers=self._reports,
+            iteration_ends=self._iteration_ends,
+        )
+
+    # -- forward pass -------------------------------------------------------------------
+
+    def _start_forward(self, index: int) -> None:
+        pending = self._wg_pending.pop(index, None)
+        if pending is not None and not pending.done:
+            self._blocked_on(pending, index, lambda: self._forward_compute(index))
+        else:
+            self._forward_compute(index)
+
+    def _forward_compute(self, index: int) -> None:
+        layer = self.model.layers[index]
+        self._reports[index].compute_cycles[TrainingPhase.FORWARD] += layer.forward_cycles
+        self.system.schedule(layer.forward_cycles, lambda: self._forward_comm(index))
+
+    def _forward_comm(self, index: int) -> None:
+        layer = self.model.layers[index]
+        collective = self._issue(index, TrainingPhase.FORWARD, layer.forward_comm)
+        if collective is not None:
+            # Output activations block the next layer (Sec. III-E).
+            self._blocked_on(collective, index, lambda: self._after_forward(index))
+        else:
+            self._after_forward(index)
+
+    def _after_forward(self, index: int) -> None:
+        if index + 1 < self.model.num_layers:
+            self._start_forward(index + 1)
+        else:
+            self._start_backward(self.model.num_layers - 1)
+
+    # -- back-propagation ------------------------------------------------------------------
+
+    def _start_backward(self, index: int) -> None:
+        layer = self.model.layers[index]
+        self._reports[index].compute_cycles[TrainingPhase.WEIGHT_GRAD] += (
+            layer.weight_grad_cycles
+        )
+        self.system.schedule(
+            layer.weight_grad_cycles, lambda: self._weight_grad_comm(index)
+        )
+
+    def _weight_grad_comm(self, index: int) -> None:
+        layer = self.model.layers[index]
+        collective = self._issue(index, TrainingPhase.WEIGHT_GRAD, layer.weight_grad_comm)
+        if collective is not None:
+            # Asynchronous: awaited by the next iteration's forward pass.
+            self._wg_pending[index] = collective
+        self._input_grad_compute(index)
+
+    def _input_grad_compute(self, index: int) -> None:
+        layer = self.model.layers[index]
+        self._reports[index].compute_cycles[TrainingPhase.INPUT_GRAD] += (
+            layer.input_grad_cycles
+        )
+        self.system.schedule(layer.input_grad_cycles, lambda: self._input_grad_comm(index))
+
+    def _input_grad_comm(self, index: int) -> None:
+        layer = self.model.layers[index]
+        collective = self._issue(index, TrainingPhase.INPUT_GRAD, layer.input_grad_comm)
+        if collective is not None:
+            # Input gradients feed the previous layer's back-propagation:
+            # blocking (Sec. III-E).
+            self._blocked_on(collective, index, lambda: self._after_backward(index))
+        else:
+            self._after_backward(index)
+
+    def _after_backward(self, index: int) -> None:
+        if index > 0:
+            self._start_backward(index - 1)
+        else:
+            self._end_iteration()
+
+    # -- iteration boundaries ------------------------------------------------------------------
+
+    def _end_iteration(self) -> None:
+        self._iteration_ends.append(self.system.now)
+        self._iteration += 1
+        if self._iteration < self.num_iterations:
+            self._start_forward(0)
+        else:
+            self._drain(0)
+
+    def _drain(self, index: int) -> None:
+        """Wait out the final iteration's outstanding weight-gradient
+        collectives in layer order — exactly what iteration N+1's forward
+        pass would do — charging the waits as exposed communication."""
+        if index >= self.model.num_layers:
+            self._finished = True
+            return
+        pending = self._wg_pending.pop(index, None)
+        if pending is not None and not pending.done:
+            self._blocked_on(pending, index, lambda: self._drain(index + 1))
+        else:
+            self._drain(index + 1)
+
+    # -- helpers -----------------------------------------------------------------------------
+
+    def _issue(
+        self, index: int, phase: TrainingPhase, comm: CommSpec
+    ) -> Optional[CollectiveSet]:
+        if not comm.active or not self.model.strategy.communicates(phase):
+            return None
+        layer = self.model.layers[index]
+        scope = self.model.strategy.scope(phase)
+        collective = self.system.request_collective(
+            comm.op,
+            comm.size_bytes,
+            scope=scope,
+            layer_id=index,
+            name=f"{layer.name}/{phase.value}",
+            reduction_cycles_per_kb=layer.local_update_cycles_per_kb,
+        )
+        report = self._reports[index]
+        report.sets.append(collective)
+        report.comm_bytes[phase] += comm.size_bytes
+        collective.on_complete(
+            lambda c, r=report, p=phase: self._account_comm(r, p, c)
+        )
+        return collective
+
+    @staticmethod
+    def _account_comm(report: LayerReport, phase: TrainingPhase, collective) -> None:
+        report.comm_cycles[phase] += collective.duration_cycles
+
+    def _blocked_on(self, collective: CollectiveSet, index: int, resume) -> None:
+        wait_start = self.system.now
+        report = self._reports[index]
+
+        def unblock(_c) -> None:
+            report.exposed_cycles += self.system.now - wait_start
+            resume()
+
+        collective.on_complete(unblock)

@@ -1,0 +1,78 @@
+"""Tests for JSON/CSV result export."""
+
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    breakdown_to_dict,
+    report_to_dict,
+    report_to_json,
+    rows_to_csv,
+)
+from repro.collectives import CollectiveOp
+from repro.config import (
+    SimulationConfig,
+    SystemConfig,
+    TorusShape,
+    paper_network_config,
+)
+from repro.config.units import MB
+from repro.system import DelayBreakdown, System
+from repro.topology import build_torus_topology
+from repro.workload import (
+    CommSpec,
+    DATA_PARALLEL,
+    DNNModel,
+    LayerSpec,
+    TrainingLoop,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    net = paper_network_config()
+    cfg = SystemConfig()
+    topo = build_torus_topology(TorusShape(2, 2, 2), net, cfg)
+    system = System(topo, SimulationConfig(system=cfg, network=net))
+    model = DNNModel("export-demo", (
+        LayerSpec("a", 1000.0, 800.0, 600.0,
+                  weight_grad_comm=CommSpec(CollectiveOp.ALL_REDUCE, 1 * MB)),
+    ), DATA_PARALLEL)
+    return TrainingLoop(system, model, num_iterations=1).run()
+
+
+class TestReportExport:
+    def test_dict_fields(self, report):
+        d = report_to_dict(report)
+        assert d["model"] == "export-demo"
+        assert d["total_cycles"] == report.total_cycles
+        assert len(d["layers"]) == 1
+        assert d["layers"][0]["comm_bytes"]["weight_grad"] == 1 * MB
+
+    def test_json_round_trip(self, report):
+        parsed = json.loads(report_to_json(report))
+        assert parsed["num_iterations"] == 1
+        assert parsed["layers"][0]["name"] == "a"
+
+    def test_breakdown_dict(self):
+        b = DelayBreakdown()
+        b.record_ready_queue(5.0)
+        d = breakdown_to_dict(b)
+        assert d["rows"][0]["queue"] == 5.0
+        assert d["phases"] == {}
+
+
+class TestCsvExport:
+    def test_basic_rows(self):
+        csv_text = rows_to_csv([{"a": 1, "b": 2.5}, {"a": 3, "b": 4.0}])
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2.5"
+
+    def test_key_selection(self):
+        csv_text = rows_to_csv([{"a": 1, "b": 2}], keys=["b"])
+        assert csv_text.strip().splitlines()[0] == "b"
+
+    def test_empty_rows(self):
+        assert rows_to_csv([]) == ""

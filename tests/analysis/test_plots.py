@@ -1,0 +1,67 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.analysis import bar_chart, series_chart
+from repro.errors import ReproError
+
+
+class TestBarChart:
+    def test_bars_scale_to_peak(self):
+        chart = bar_chart([{"x": "a", "v": 5.0}, {"x": "b", "v": 10.0}],
+                          "x", "v", width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("█") == 5
+        assert lines[1].count("█") == 10
+
+    def test_labels_aligned(self):
+        chart = bar_chart([{"x": "a", "v": 1}, {"x": "long", "v": 2}],
+                          "x", "v", width=4)
+        assert all(line.index("│") == chart.splitlines()[0].index("│")
+                   for line in chart.splitlines())
+
+    def test_title(self):
+        chart = bar_chart([{"x": "a", "v": 1}], "x", "v", title="T")
+        assert chart.splitlines()[0] == "T"
+
+    def test_zero_values_allowed(self):
+        chart = bar_chart([{"x": "a", "v": 0.0}], "x", "v")
+        assert "0" in chart
+
+    def test_negative_rejected(self):
+        with pytest.raises(ReproError):
+            bar_chart([{"x": "a", "v": -1.0}], "x", "v")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            bar_chart([], "x", "v")
+
+    def test_bad_width(self):
+        with pytest.raises(ReproError):
+            bar_chart([{"x": "a", "v": 1}], "x", "v", width=0)
+
+
+class TestSeriesChart:
+    ROWS = [
+        {"size": 64, "alltoall": 900.0, "torus": 3200.0},
+        {"size": 512, "alltoall": 4500.0, "torus": 14400.0},
+    ]
+
+    def test_one_group_per_row(self):
+        chart = series_chart(self.ROWS, "size", ["alltoall", "torus"])
+        assert chart.count("size=") == 2
+        assert chart.count("alltoall") == 2
+
+    def test_largest_value_gets_longest_bar(self):
+        chart = series_chart(self.ROWS, "size", ["alltoall", "torus"], width=20)
+        lines = [l for l in chart.splitlines() if "│" in l]
+        torus_large = next(l for l in lines if "14,400" in l)
+        assert torus_large.count("█") == 20
+
+    def test_needs_series(self):
+        with pytest.raises(ReproError):
+            series_chart(self.ROWS, "size", [])
+
+    def test_needs_rows(self):
+        with pytest.raises(ReproError):
+            series_chart([], "size", ["a"])

@@ -1,0 +1,108 @@
+"""Tests for the closed-form cost models, including the paper's Sec. V-B
+data-volume arithmetic."""
+
+import pytest
+
+from repro.analytical import (
+    LinkParams,
+    direct_all_reduce_cycles,
+    direct_reduce_scatter_cycles,
+    hierarchical_all_reduce_volume,
+    ring_all_gather_cycles,
+    ring_all_reduce_cycles,
+    ring_all_to_all_cycles,
+    ring_reduce_scatter_cycles,
+)
+from repro.errors import CollectiveError
+
+LINK = LinkParams(bytes_per_cycle=100.0, latency_cycles=50.0,
+                  endpoint_delay_cycles=10.0)
+
+
+class TestRingForms:
+    def test_reduce_scatter(self):
+        # 3 steps x (1000/100 + 60) = 210.
+        assert ring_reduce_scatter_cycles(4000.0, 4, LINK) == pytest.approx(210.0)
+
+    def test_all_gather_equals_scatter_without_reduction(self):
+        assert ring_all_gather_cycles(4000.0, 4, LINK) == pytest.approx(
+            ring_reduce_scatter_cycles(4000.0, 4, LINK))
+
+    def test_all_reduce_is_sum(self):
+        assert ring_all_reduce_cycles(4000.0, 4, LINK) == pytest.approx(
+            ring_reduce_scatter_cycles(4000.0, 4, LINK)
+            + ring_all_gather_cycles(4000.0, 4, LINK))
+
+    def test_reduction_term(self):
+        with_reduce = ring_reduce_scatter_cycles(4096.0, 4, LINK, 100.0)
+        without = ring_reduce_scatter_cycles(4096.0, 4, LINK)
+        assert with_reduce - without == pytest.approx(300.0)
+
+    def test_all_to_all_grows_with_nodes(self):
+        small = ring_all_to_all_cycles(8000.0, 4, LINK)
+        large = ring_all_to_all_cycles(8000.0, 8, LINK)
+        assert large > small
+
+    def test_validation(self):
+        with pytest.raises(CollectiveError):
+            ring_reduce_scatter_cycles(0.0, 4, LINK)
+        with pytest.raises(CollectiveError):
+            ring_reduce_scatter_cycles(100.0, 1, LINK)
+
+
+class TestDirectForms:
+    def test_parallel_links_speed_up(self):
+        serial = direct_reduce_scatter_cycles(8000.0, 8, LINK, parallel_links=1)
+        parallel = direct_reduce_scatter_cycles(8000.0, 8, LINK, parallel_links=7)
+        assert parallel < serial
+
+    def test_all_reduce_is_two_steps(self):
+        rs = direct_reduce_scatter_cycles(8000.0, 8, LINK, 7)
+        ar = direct_all_reduce_cycles(8000.0, 8, LINK, 7)
+        assert ar == pytest.approx(2 * rs)
+
+    def test_validation(self):
+        with pytest.raises(CollectiveError):
+            direct_reduce_scatter_cycles(100.0, 4, LINK, parallel_links=0)
+
+
+class TestSectionVBVolumes:
+    """The per-node traffic arithmetic quoted in Sec. V-B, verbatim."""
+
+    def test_1x64x1_baseline(self):
+        assert hierarchical_all_reduce_volume([1, 64, 1], enhanced=False) == \
+            pytest.approx(126 / 64)
+
+    def test_1x8x8_baseline(self):
+        assert hierarchical_all_reduce_volume([1, 8, 8], enhanced=False) == \
+            pytest.approx(28 / 8)
+
+    def test_4x4x4_baseline(self):
+        assert hierarchical_all_reduce_volume([4, 4, 4], enhanced=False) == \
+            pytest.approx(36 / 8)
+
+    def test_2x8x4_baseline(self):
+        assert hierarchical_all_reduce_volume([2, 8, 4], enhanced=False) == \
+            pytest.approx(34 / 8)
+
+    def test_volume_ordering_explains_fig10(self):
+        """1x8x8 < 2x8x4 < 4x4x4 < 1x64x1 in total volume."""
+        v = {shape: hierarchical_all_reduce_volume(list(shape), False)
+             for shape in [(1, 64, 1), (1, 8, 8), (2, 8, 4), (4, 4, 4)]}
+        assert v[(1, 8, 8)] < v[(2, 8, 4)] < v[(4, 4, 4)]
+        # 1x64x1's volume is lower, but its 63-hop ring loses on steps.
+
+    def test_enhanced_cuts_inter_package_traffic(self):
+        baseline = hierarchical_all_reduce_volume([4, 4, 4], enhanced=False)
+        enhanced = hierarchical_all_reduce_volume([4, 4, 4], enhanced=True)
+        assert enhanced < baseline
+
+    def test_enhanced_4x4x4_value(self):
+        # RS local 3/4 + 2 dims x (2 * 3/4 / 4) + AG local 3/4 = 2.25.
+        assert hierarchical_all_reduce_volume([4, 4, 4], enhanced=True) == \
+            pytest.approx(0.75 + 0.75 + 0.75)
+
+    def test_degenerate_dims(self):
+        assert hierarchical_all_reduce_volume([1, 1, 1], enhanced=False) == 0.0
+        assert hierarchical_all_reduce_volume([1, 8, 1], enhanced=True) == \
+            pytest.approx(2 * 7 / 8)

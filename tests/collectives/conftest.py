@@ -1,0 +1,15 @@
+"""Pytest fixtures for collective algorithm tests."""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from collective_helpers import Platform  # noqa: E402
+
+
+@pytest.fixture
+def platform():
+    return Platform()

@@ -1,0 +1,65 @@
+"""Tests for the alternative GPU compute model."""
+
+import pytest
+
+from repro.compute import GemmShape, GpuComputeModel, GpuConfig, SystolicArrayModel
+from repro.config import ComputeConfig
+from repro.errors import ConfigError, WorkloadError
+from repro.models import mlp
+
+
+class TestGpuModel:
+    def test_gemm_cycles_track_macs(self):
+        model = GpuComputeModel()
+        small = GemmShape(256, 256, 256)
+        big = GemmShape(512, 512, 512)
+        assert model.gemm_cycles(big) == pytest.approx(
+            8 * model.gemm_cycles(small))
+
+    def test_peak_throughput(self):
+        """125 TFLOP/s at 70% efficiency and 1 GHz: 43750 MACs/cycle."""
+        model = GpuComputeModel(GpuConfig(peak_tflops=125.0, mma_efficiency=0.7))
+        g = GemmShape(1000, 1000, 1000)
+        assert model.gemm_cycles(g) == pytest.approx(g.macs / 43_750.0)
+
+    def test_kernel_launch_overhead_per_gemm(self):
+        model = GpuComputeModel(GpuConfig(kernel_launch_cycles=500.0))
+        g = GemmShape(512, 512, 512)
+        one = model.estimate(g)
+        three = model.estimate([g, g, g])
+        assert three.overhead_cycles == pytest.approx(3 * one.overhead_cycles)
+
+    def test_memory_bound_shape_stalls(self):
+        model = GpuComputeModel(GpuConfig(dram_bandwidth_gbps=10.0))
+        skinny = GemmShape(10_000, 8, 10_000)
+        assert model.estimate(skinny).dram_stall_cycles > 0
+
+    def test_compute_scale(self):
+        base = GpuComputeModel(GpuConfig())
+        fast = GpuComputeModel(GpuConfig(compute_scale=2.0))
+        g = GemmShape(1024, 1024, 1024)
+        assert fast.layer_cycles(g) == pytest.approx(base.layer_cycles(g) / 2)
+
+    def test_io_override(self):
+        model = GpuComputeModel()
+        g = GemmShape(4096, 64, 64)
+        assert model.estimate(g, io_bytes=0.0).dram_stall_cycles == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            GpuConfig(peak_tflops=0.0)
+        with pytest.raises(ConfigError):
+            GpuConfig(mma_efficiency=1.5)
+        with pytest.raises(WorkloadError):
+            GpuComputeModel().estimate([])
+
+
+class TestModelBuilderInterop:
+    def test_mlp_accepts_gpu_model(self):
+        """Model builders duck-type the compute model: a GPU model slots in
+        wherever the systolic model does (Sec. IV-A portability)."""
+        gpu = mlp(compute=GpuComputeModel())
+        tpu = mlp(compute=SystolicArrayModel(ComputeConfig()))
+        assert gpu.num_layers == tpu.num_layers
+        assert gpu.total_compute_cycles > 0
+        assert gpu.total_compute_cycles != tpu.total_compute_cycles

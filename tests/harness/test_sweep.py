@@ -1,0 +1,55 @@
+"""Tests for the generic parameter-sweep utility."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.harness.sweep import SweepResult, sweep
+
+
+class TestSweep:
+    def test_runs_every_value(self):
+        seen = []
+        result = sweep("x", [1, 2, 3], lambda v: (seen.append(v), float(v))[1])
+        assert seen == [1, 2, 3]
+        assert result.values() == [1.0, 2.0, 3.0]
+
+    def test_argmin(self):
+        result = sweep("chunks", [1, 4, 16], lambda c: 1000.0 / c)
+        assert result.argmin() == 16
+
+    def test_table_speedups(self):
+        result = sweep("alg", ["base", "enh"],
+                       lambda a: 1000.0 if a == "base" else 250.0)
+        table = result.table()
+        assert table.speedup("enh", "base") == pytest.approx(4.0)
+
+    def test_rows_are_csv_ready(self):
+        from repro.analysis.export import rows_to_csv
+
+        result = sweep("n", [2, 4], lambda n: float(n * 10))
+        csv_text = rows_to_csv(result.rows)
+        assert "n,cycles" in csv_text
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ReproError):
+            sweep("x", [], lambda v: 1.0)
+
+    def test_none_metric_rejected(self):
+        with pytest.raises(ReproError):
+            sweep("x", [1], lambda v: None)
+
+    def test_real_simulation_sweep(self):
+        """Sweep chunk counts on a real platform."""
+        from repro.collectives import CollectiveOp
+        from repro.config import TorusShape
+        from repro.config.units import MB
+        from repro.harness import run_collective, torus_platform
+
+        def run(chunks):
+            platform = torus_platform(TorusShape(2, 2, 2),
+                                      preferred_set_splits=chunks)
+            return run_collective(platform, CollectiveOp.ALL_REDUCE,
+                                  2 * MB).duration_cycles
+
+        result = sweep("chunks", [1, 4], run)
+        assert result.argmin() == 4

@@ -1,0 +1,66 @@
+"""Tests for the Mixture-of-Experts workload."""
+
+import pytest
+
+from repro.collectives import CollectiveOp
+from repro.errors import WorkloadError
+from repro.models import moe_transformer
+from repro.models.moe import NUM_BLOCKS
+
+
+class TestMoeStructure:
+    def test_alternating_blocks(self):
+        model = moe_transformer()
+        names = [l.name for l in model.layers]
+        assert len(names) == 2 * NUM_BLOCKS
+        assert names[0] == "attention1"
+        assert names[1] == "moe_ffn1"
+
+    def test_moe_layers_use_all_to_all(self):
+        model = moe_transformer()
+        for layer in model.layers:
+            if layer.name.startswith("moe_ffn"):
+                assert layer.forward_comm.op is CollectiveOp.ALL_TO_ALL
+                assert layer.input_grad_comm.op is CollectiveOp.ALL_TO_ALL
+            else:
+                assert layer.forward_comm.op is CollectiveOp.ALL_GATHER
+
+    def test_exchange_scales_with_leaving_fraction(self):
+        """More expert-parallel peers -> a larger token fraction leaves."""
+        two = moe_transformer(expert_parallel_degree=2)
+        four = moe_transformer(expert_parallel_degree=4)
+        assert four.layer("moe_ffn1").forward_comm.size_bytes > \
+            two.layer("moe_ffn1").forward_comm.size_bytes
+
+    def test_capacity_factor_scales_exchange(self):
+        lean = moe_transformer(capacity_factor=1.0)
+        padded = moe_transformer(capacity_factor=1.5)
+        assert padded.layer("moe_ffn1").forward_comm.size_bytes == \
+            pytest.approx(1.5 * lean.layer("moe_ffn1").forward_comm.size_bytes)
+
+    def test_expert_weight_bytes_follow_local_experts(self):
+        """Sharding experts over more NPUs shrinks per-NPU expert weights."""
+        two = moe_transformer(num_experts=8, expert_parallel_degree=2)
+        four = moe_transformer(num_experts=8, expert_parallel_degree=4)
+        assert four.layer("moe_ffn1").weight_grad_comm.size_bytes == \
+            pytest.approx(two.layer("moe_ffn1").weight_grad_comm.size_bytes / 2)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            moe_transformer(num_experts=8, expert_parallel_degree=3)
+        with pytest.raises(WorkloadError):
+            moe_transformer(capacity_factor=0.5)
+
+
+class TestMoeRuns:
+    def test_trains_on_torus(self):
+        from repro.config import CollectiveAlgorithm, TorusShape
+        from repro.harness import run_training, torus_platform
+
+        platform = torus_platform(TorusShape(2, 2, 2),
+                                  algorithm=CollectiveAlgorithm.ENHANCED)
+        model = moe_transformer(compute=platform.config.compute,
+                                expert_parallel_degree=2)
+        report, _ = run_training(model, platform, num_iterations=1)
+        moe = next(l for l in report.layers if l.name == "moe_ffn1")
+        assert moe.total_comm_cycles > 0

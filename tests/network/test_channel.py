@@ -1,0 +1,112 @@
+"""Unit tests for ring and switch channels."""
+
+import pytest
+
+from repro.config import LinkConfig
+from repro.errors import NetworkError, TopologyError
+from repro.network import Link, RingChannel, SwitchChannel
+
+CFG = LinkConfig(bandwidth_gbps=25.0, latency_cycles=200.0, packet_size_bytes=256)
+
+
+def make_ring(nodes):
+    links = [Link(nodes[i], nodes[(i + 1) % len(nodes)], CFG)
+             for i in range(len(nodes))]
+    return RingChannel(nodes, links)
+
+
+def make_switch(switch_id, nodes):
+    uplinks = {n: Link(n, switch_id, CFG) for n in nodes}
+    downlinks = {n: Link(switch_id, n, CFG) for n in nodes}
+    return SwitchChannel(switch_id, nodes, uplinks, downlinks)
+
+
+class TestRingChannel:
+    def test_neighbours(self):
+        ring = make_ring([10, 20, 30, 40])
+        assert ring.next_node(10) == 20
+        assert ring.next_node(40) == 10
+        assert ring.prev_node(10) == 40
+
+    def test_node_at_distance(self):
+        ring = make_ring([0, 1, 2, 3])
+        assert ring.node_at_distance(1, 2) == 3
+        assert ring.node_at_distance(3, 2) == 1
+
+    def test_path_single_hop(self):
+        ring = make_ring([0, 1, 2, 3])
+        path = ring.path(1, 2)
+        assert len(path) == 1
+        assert path[0].src == 1 and path[0].dst == 2
+
+    def test_path_wraps(self):
+        ring = make_ring([0, 1, 2, 3])
+        path = ring.path(3, 1)
+        assert [(l.src, l.dst) for l in path] == [(3, 0), (0, 1)]
+
+    def test_link_from(self):
+        ring = make_ring([0, 1, 2])
+        assert ring.link_from(2).dst == 0
+
+    def test_path_rejects_self(self):
+        with pytest.raises(NetworkError):
+            make_ring([0, 1]).path(0, 0)
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(TopologyError):
+            make_ring([0, 1]).position(99)
+
+    def test_requires_two_nodes(self):
+        with pytest.raises(TopologyError):
+            RingChannel([0], [])
+
+    def test_rejects_duplicate_nodes(self):
+        links = [Link(0, 1, CFG), Link(1, 0, CFG), Link(0, 1, CFG)]
+        with pytest.raises(TopologyError):
+            RingChannel([0, 1, 0], links)
+
+    def test_rejects_wrong_link_wiring(self):
+        links = [Link(0, 2, CFG), Link(1, 0, CFG)]
+        with pytest.raises(TopologyError):
+            RingChannel([0, 1], links)
+
+    def test_rejects_wrong_link_count(self):
+        links = [Link(0, 1, CFG)]
+        with pytest.raises(TopologyError):
+            RingChannel([0, 1], links)
+
+    def test_two_node_ring(self):
+        ring = make_ring([5, 7])
+        assert ring.next_node(5) == 7
+        assert ring.next_node(7) == 5
+
+
+class TestSwitchChannel:
+    def test_path_goes_through_switch(self):
+        switch = make_switch(100, [0, 1, 2])
+        path = switch.path(0, 2)
+        assert [(l.src, l.dst) for l in path] == [(0, 100), (100, 2)]
+
+    def test_path_rejects_self(self):
+        with pytest.raises(NetworkError):
+            make_switch(100, [0, 1]).path(1, 1)
+
+    def test_unattached_node_rejected(self):
+        with pytest.raises(TopologyError):
+            make_switch(100, [0, 1]).path(0, 9)
+
+    def test_requires_two_nodes(self):
+        with pytest.raises(TopologyError):
+            make_switch(100, [0])
+
+    def test_missing_links_detected(self):
+        uplinks = {0: Link(0, 100, CFG)}
+        downlinks = {0: Link(100, 0, CFG), 1: Link(100, 1, CFG)}
+        with pytest.raises(TopologyError):
+            SwitchChannel(100, [0, 1], uplinks, downlinks)
+
+    def test_bad_uplink_wiring_detected(self):
+        uplinks = {0: Link(0, 99, CFG), 1: Link(1, 100, CFG)}
+        downlinks = {0: Link(100, 0, CFG), 1: Link(100, 1, CFG)}
+        with pytest.raises(TopologyError):
+            SwitchChannel(100, [0, 1], uplinks, downlinks)

@@ -1,0 +1,148 @@
+"""Unit tests for the torus and alltoall physical fabric builders."""
+
+import pytest
+
+from repro.config import AllToAllShape, TorusShape, paper_network_config
+from repro.dims import Dimension
+from repro.errors import TopologyError
+from repro.network.physical import AllToAllFabric, TorusFabric
+
+NET = paper_network_config()
+
+
+class TestTorusCoordinates:
+    def test_round_trip(self):
+        fabric = TorusFabric(TorusShape(2, 4, 3), NET)
+        for npu in range(fabric.num_npus):
+            l, h, v = fabric.coords(npu)
+            assert fabric.npu_id(l, h, v) == npu
+
+    def test_out_of_range(self):
+        fabric = TorusFabric(TorusShape(2, 2, 2), NET)
+        with pytest.raises(TopologyError):
+            fabric.coords(8)
+        with pytest.raises(TopologyError):
+            fabric.npu_id(2, 0, 0)
+
+
+class TestTorusChannels:
+    def test_dimensions_in_traversal_order(self):
+        fabric = TorusFabric(TorusShape(2, 4, 4), NET)
+        assert fabric.dimensions == [Dimension.LOCAL, Dimension.VERTICAL,
+                                     Dimension.HORIZONTAL]
+
+    def test_dim_sizes(self):
+        fabric = TorusFabric(TorusShape(2, 4, 3), NET)
+        assert fabric.dim_size(Dimension.LOCAL) == 2
+        assert fabric.dim_size(Dimension.HORIZONTAL) == 4
+        assert fabric.dim_size(Dimension.VERTICAL) == 3
+
+    def test_degenerate_dimensions_absent(self):
+        fabric = TorusFabric(TorusShape(1, 8, 1), NET)
+        assert fabric.dimensions == [Dimension.HORIZONTAL]
+
+    def test_fully_degenerate_rejected(self):
+        with pytest.raises(TopologyError):
+            TorusFabric(TorusShape(1, 1, 1), NET)
+
+    def test_local_ring_count(self):
+        fabric = TorusFabric(TorusShape(4, 2, 2), NET, local_rings=3)
+        for channels in fabric.groups(Dimension.LOCAL).values():
+            assert len(channels) == 3
+
+    def test_bidirectional_rings_make_two_channels_each(self):
+        fabric = TorusFabric(TorusShape(1, 8, 1), NET, horizontal_rings=4)
+        for channels in fabric.groups(Dimension.HORIZONTAL).values():
+            assert len(channels) == 8  # 4 bidirectional = 8 unidirectional
+
+    def test_opposite_directions_present(self):
+        fabric = TorusFabric(TorusShape(1, 4, 1), NET, horizontal_rings=1)
+        cw, ccw = next(iter(fabric.groups(Dimension.HORIZONTAL).values()))
+        assert cw.nodes == list(reversed(ccw.nodes)) or \
+            cw.next_node(cw.nodes[0]) != ccw.next_node(cw.nodes[0])
+
+    def test_group_membership(self):
+        fabric = TorusFabric(TorusShape(2, 4, 4), NET)
+        npu = fabric.npu_id(1, 2, 3)
+        assert fabric.group_of(Dimension.LOCAL, npu) == (2, 3)
+        assert fabric.group_of(Dimension.HORIZONTAL, npu) == (1, 3)
+        assert fabric.group_of(Dimension.VERTICAL, npu) == (2, 1)
+
+    def test_vertical_ring_spans_same_local_and_horizontal(self):
+        fabric = TorusFabric(TorusShape(2, 4, 4), NET)
+        ring = fabric.channels_for(Dimension.VERTICAL, (0, 1))[0]
+        for npu in ring.nodes:
+            l, h, _v = fabric.coords(npu)
+            assert (h, l) == (0, 1)
+
+    def test_link_count_2x4x4(self):
+        # Per package: 2 local rings x 2 nodes = 4 local links; 16 packages.
+        # Inter: per (dim group) ring of 4: 2 rings cfg -> 4 channels x 4
+        # links; horizontal groups = 2*4=8, vertical groups = 8.
+        fabric = TorusFabric(TorusShape(2, 4, 4), NET,
+                             horizontal_rings=2, vertical_rings=2)
+        local = 16 * 2 * 2
+        inter = 2 * (8 * 4 * 4)
+        assert fabric.total_links() == local + inter
+
+    def test_utilization_report_keys(self):
+        fabric = TorusFabric(TorusShape(2, 2, 2), NET)
+        report = fabric.utilization_report()
+        assert "local_bytes" in report
+        assert "package_bytes" in report
+
+
+class TestAllToAllFabric:
+    def test_coordinates(self):
+        fabric = AllToAllFabric(AllToAllShape(4, 8), NET)
+        for npu in range(fabric.num_npus):
+            l, p = fabric.coords(npu)
+            assert fabric.npu_id(l, p) == npu
+
+    def test_dimensions(self):
+        fabric = AllToAllFabric(AllToAllShape(4, 8), NET)
+        assert fabric.dimensions == [Dimension.LOCAL, Dimension.ALLTOALL]
+
+    def test_no_local_dim_when_single_nam(self):
+        fabric = AllToAllFabric(AllToAllShape(1, 8), NET)
+        assert fabric.dimensions == [Dimension.ALLTOALL]
+
+    def test_switch_count(self):
+        fabric = AllToAllFabric(AllToAllShape(1, 8), NET, global_switches=7)
+        assert len(fabric.switches) == 7
+        # 7 switches x 8 nodes x (up + down) = 112 links.
+        assert fabric.total_links() == 112
+
+    def test_switch_for_latin_square_spread(self):
+        """With switches == peers, each of a node's peers maps to a
+        distinct switch (Fig. 9's one-link-per-peer configuration)."""
+        fabric = AllToAllFabric(AllToAllShape(1, 8), NET, global_switches=7)
+        for src in range(8):
+            used = {fabric.switch_for(src, dst).switch_id
+                    for dst in range(8) if dst != src}
+            assert len(used) == 7
+
+    def test_switch_for_downlink_contention_free(self):
+        fabric = AllToAllFabric(AllToAllShape(1, 8), NET, global_switches=7)
+        for dst in range(8):
+            used = {fabric.switch_for(src, dst).switch_id
+                    for src in range(8) if src != dst}
+            assert len(used) == 7
+
+    def test_switch_for_rejects_intra_package(self):
+        fabric = AllToAllFabric(AllToAllShape(2, 4), NET)
+        with pytest.raises(TopologyError):
+            fabric.switch_for(0, 1)  # same package
+
+    def test_group_of(self):
+        fabric = AllToAllFabric(AllToAllShape(2, 4), NET)
+        npu = fabric.npu_id(1, 2)
+        assert fabric.group_of(Dimension.LOCAL, npu) == (2,)
+        assert fabric.group_of(Dimension.ALLTOALL, npu) == (1,)
+
+    def test_alltoall_groups_share_switches(self):
+        fabric = AllToAllFabric(AllToAllShape(2, 4), NET, global_switches=3)
+        groups = fabric.groups(Dimension.ALLTOALL)
+        assert len(groups) == 2
+        ids = [tuple(ch.switch_id for ch in chs) for chs in groups.values()]
+        assert ids[0] == ids[1]

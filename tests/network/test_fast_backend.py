@@ -1,0 +1,131 @@
+"""Timing tests for the fast analytical backend."""
+
+import pytest
+
+from repro.config import LinkConfig, NetworkConfig, TorusShape, paper_network_config
+from repro.config.parameters import AllToAllShape
+from repro.dims import Dimension
+from repro.errors import NetworkError
+from repro.events import EventQueue
+from repro.network import FastBackend, Link, Message, validate_path
+from repro.network.physical import AllToAllFabric, TorusFabric
+
+#: An idealized link class for exact hand calculations.
+IDEAL = LinkConfig(bandwidth_gbps=100.0, latency_cycles=50.0,
+                   packet_size_bytes=512, efficiency=1.0,
+                   message_quantum_bytes=None)
+IDEAL_NET = NetworkConfig(local_link=IDEAL, package_link=IDEAL,
+                          router_latency_cycles=1.0)
+
+
+def deliver(backend, src, dst, size, path):
+    done = []
+    backend.send(Message(src, dst, size), path, done.append)
+    backend.events.run()
+    assert len(done) == 1
+    return done[0]
+
+
+class TestSingleHop:
+    def test_exact_delivery_time(self):
+        q = EventQueue()
+        backend = FastBackend(q, IDEAL_NET)
+        link = Link(0, 1, IDEAL)
+        msg = deliver(backend, 0, 1, 1000.0, [link])
+        # 1000 B / 100 B-per-cycle + 50 latency.
+        assert msg.delivered_at == pytest.approx(60.0)
+        assert msg.queueing_cycles == pytest.approx(0.0)
+        assert msg.network_cycles == pytest.approx(60.0)
+
+    def test_two_messages_queue_fifo(self):
+        q = EventQueue()
+        backend = FastBackend(q, IDEAL_NET)
+        link = Link(0, 1, IDEAL)
+        done = []
+        backend.send(Message(0, 1, 1000.0), [link], done.append)
+        backend.send(Message(0, 1, 1000.0), [link], done.append)
+        q.run()
+        assert done[0].delivered_at == pytest.approx(60.0)
+        assert done[1].delivered_at == pytest.approx(70.0)
+        assert done[1].queueing_cycles == pytest.approx(10.0)
+
+    def test_counters(self):
+        q = EventQueue()
+        backend = FastBackend(q, IDEAL_NET)
+        link = Link(0, 1, IDEAL)
+        deliver(backend, 0, 1, 123.0, [link])
+        assert backend.messages_delivered == 1
+        assert backend.bytes_delivered == pytest.approx(123.0)
+
+
+class TestMultiHop:
+    def test_pipelined_two_hops(self):
+        q = EventQueue()
+        backend = FastBackend(q, IDEAL_NET)
+        l1, l2 = Link(0, 9, IDEAL), Link(9, 1, IDEAL)
+        msg = deliver(backend, 0, 1, 5120.0, [l1, l2])
+        # Hop 1 head: 512/100 + 50 = 55.12; +router 1; hop 2 starts at
+        # 56.12, tail = 56.12 + 51.2 + 50 = 157.32.
+        assert msg.delivered_at == pytest.approx(56.12 + 51.2 + 50.0)
+
+    def test_multi_hop_beats_store_and_forward(self):
+        q = EventQueue()
+        backend = FastBackend(q, IDEAL_NET)
+        l1, l2 = Link(0, 9, IDEAL), Link(9, 1, IDEAL)
+        msg = deliver(backend, 0, 1, 100_000.0, [l1, l2])
+        store_forward = 2 * (1000.0 + 50.0)
+        assert msg.delivered_at < store_forward
+
+    def test_switch_path_through_fabric(self):
+        net = paper_network_config()
+        fabric = AllToAllFabric(AllToAllShape(1, 4), net, global_switches=3)
+        q = EventQueue()
+        backend = FastBackend(q, net)
+        switch = fabric.switch_for(0, 2)
+        msg = deliver(backend, 0, 2, 1024.0, switch.path(0, 2))
+        assert msg.delivered_at > 2 * net.package_link.latency_cycles
+
+
+class TestPathValidation:
+    def test_empty_path(self):
+        with pytest.raises(NetworkError):
+            validate_path(Message(0, 1, 1.0), [])
+
+    def test_wrong_source(self):
+        with pytest.raises(NetworkError):
+            validate_path(Message(0, 1, 1.0), [Link(2, 1, IDEAL)])
+
+    def test_wrong_destination(self):
+        with pytest.raises(NetworkError):
+            validate_path(Message(0, 1, 1.0), [Link(0, 2, IDEAL)])
+
+    def test_discontinuous_path(self):
+        with pytest.raises(NetworkError):
+            validate_path(Message(0, 1, 1.0),
+                          [Link(0, 5, IDEAL), Link(6, 1, IDEAL)])
+
+    def test_valid_path_accepted(self):
+        validate_path(Message(0, 1, 1.0), [Link(0, 5, IDEAL), Link(5, 1, IDEAL)])
+
+
+class TestScheduling:
+    def test_backend_exposes_event_queue(self):
+        q = EventQueue()
+        backend = FastBackend(q, IDEAL_NET)
+        fired = []
+        backend.schedule(5.0, lambda: fired.append(backend.now))
+        q.run()
+        assert fired == [5.0]
+
+    def test_paper_parameters_end_to_end(self):
+        """200 GB/s local link at 94% efficiency with 512 B quanta."""
+        net = paper_network_config()
+        fabric = TorusFabric(TorusShape(2, 2, 1), net)
+        ring = fabric.channels_for(Dimension.LOCAL, (0, 0))[0]
+        q = EventQueue()
+        backend = FastBackend(q, net)
+        msg = deliver(backend, ring.nodes[0], ring.nodes[1], 1024 * 1024,
+                      ring.path(ring.nodes[0], ring.nodes[1]))
+        wire = 1024 * 1024 / (200 * 0.94)
+        quanta = 1024 * 1024 / 512 * 10
+        assert msg.delivered_at == pytest.approx(wire + quanta + 90.0)

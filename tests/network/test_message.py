@@ -1,0 +1,73 @@
+"""Unit tests for messages and packetization (Table II granularity)."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.network import Message, num_packets, packetize
+
+
+class TestMessage:
+    def test_timing_properties(self):
+        m = Message(0, 1, 1024.0)
+        m.created_at = 10.0
+        m.injected_at = 25.0
+        m.delivered_at = 100.0
+        assert m.queueing_cycles == pytest.approx(15.0)
+        assert m.network_cycles == pytest.approx(75.0)
+        assert m.total_cycles == pytest.approx(90.0)
+
+    def test_unique_ids(self):
+        assert Message(0, 1, 1.0).msg_id != Message(0, 1, 1.0).msg_id
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(NetworkError):
+            Message(0, 1, -1.0)
+
+    def test_rejects_self_send(self):
+        with pytest.raises(NetworkError):
+            Message(3, 3, 10.0)
+
+    def test_tag_is_preserved(self):
+        m = Message(0, 1, 1.0, tag=("rs", 2))
+        assert m.tag == ("rs", 2)
+
+
+class TestPacketize:
+    def test_exact_multiple(self):
+        assert packetize(1024, 512) == [512.0, 512.0]
+
+    def test_remainder_packet(self):
+        assert packetize(1200, 512) == [512.0, 512.0, 176.0]
+
+    def test_small_message_single_packet(self):
+        assert packetize(100, 512) == [100.0]
+
+    def test_zero_size_yields_header_packet(self):
+        assert packetize(0, 512) == [0.0]
+
+    def test_sum_preserved(self):
+        packets = packetize(999_999, 256)
+        assert sum(packets) == pytest.approx(999_999)
+
+    def test_invalid_packet_size(self):
+        with pytest.raises(NetworkError):
+            packetize(100, 0)
+
+    def test_negative_size(self):
+        with pytest.raises(NetworkError):
+            packetize(-1, 512)
+
+
+class TestNumPackets:
+    @pytest.mark.parametrize("size,packet,expected", [
+        (1024, 512, 2),
+        (1025, 512, 3),
+        (1, 512, 1),
+        (0, 512, 1),
+    ])
+    def test_counts(self, size, packet, expected):
+        assert num_packets(size, packet) == expected
+
+    def test_matches_packetize(self):
+        for size in (0, 1, 511, 512, 513, 10_000):
+            assert num_packets(size, 512) == len(packetize(size, 512))

@@ -1,0 +1,109 @@
+"""Tests for the astra-repro command line interface."""
+
+import pytest
+
+from repro.cli import build_arg_parser, main
+from repro.workload import dumps
+from repro.models import mlp
+
+
+class TestArgumentParsing:
+    def test_train_defaults(self):
+        args = build_arg_parser().parse_args(["train"])
+        assert args.model == "resnet50"
+        assert args.shape == "2x4x4"
+        assert args.num_passes == 2
+
+    def test_collective_defaults(self):
+        args = build_arg_parser().parse_args(["collective"])
+        assert args.op == "allreduce"
+        assert args.size_mb == 8.0
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_arg_parser().parse_args([])
+
+
+class TestCollectiveCommand:
+    def test_torus_all_reduce(self, capsys):
+        code = main(["collective", "--op", "allreduce", "--size-mb", "1",
+                     "--shape", "2x2x2", "--algorithm", "enhanced"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "allreduce" in out
+        assert "cycles" in out
+
+    def test_alltoall_topology(self, capsys):
+        code = main(["collective", "--topology", "AllToAll", "--shape", "2x4",
+                     "--op", "alltoall", "--size-mb", "1"])
+        assert code == 0
+        assert "alltoall" in capsys.readouterr().out
+
+    def test_breakdown_flag(self, capsys):
+        code = main(["collective", "--size-mb", "1", "--shape", "2x2x2",
+                     "--breakdown"])
+        assert code == 0
+        assert "P0" in capsys.readouterr().out
+
+    def test_bad_shape_is_reported(self, capsys):
+        code = main(["collective", "--shape", "banana"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_torus_needs_three_dims(self, capsys):
+        code = main(["collective", "--shape", "2x4"])
+        assert code == 2
+
+    def test_alltoall_needs_two_dims(self, capsys):
+        code = main(["collective", "--topology", "AllToAll",
+                     "--shape", "2x2x2"])
+        assert code == 2
+
+
+class TestTrainCommand:
+    def test_mlp_training(self, capsys):
+        code = main(["train", "--model", "mlp", "--shape", "2x2x2",
+                     "--num-passes", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mlp" in out
+        assert "iteration" in out
+
+    def test_layer_table_flag(self, capsys):
+        code = main(["train", "--model", "mlp", "--shape", "2x2x2",
+                     "--num-passes", "1", "--layer-table"])
+        assert code == 0
+        assert "fc1" in capsys.readouterr().out
+
+    def test_workload_file(self, tmp_path, capsys):
+        path = tmp_path / "wl.txt"
+        path.write_text(dumps(mlp(widths=(256, 128), input_features=64)))
+        code = main(["train", "--workload-file", str(path),
+                     "--shape", "2x2x2", "--num-passes", "1"])
+        assert code == 0
+
+
+class TestBandwidthCommand:
+    def test_bandwidth_table(self, capsys):
+        code = main(["bandwidth", "--shape", "2x2x2", "--sizes-mb", "0.25,1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "algbw" in out and "busbw" in out
+
+    def test_bad_sizes_list(self, capsys):
+        code = main(["bandwidth", "--shape", "2x2x2", "--sizes-mb", "a,b"])
+        assert code == 2
+
+
+class TestMemoryCommand:
+    def test_memory_report(self, capsys):
+        code = main(["memory", "--model", "resnet50"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "parameters" in out
+        assert "HBM" in out
+
+    def test_memory_overflow_flagged(self, capsys):
+        code = main(["memory", "--model", "resnet50", "--hbm-gb", "0.1"])
+        assert code == 1
+        assert "WARNING" in capsys.readouterr().out

@@ -1,0 +1,68 @@
+"""Tests for the synthetic workload generator."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload import (
+    DATA_PARALLEL,
+    MODEL_PARALLEL,
+    GeneratorSpec,
+    TrainingPhase,
+    synthetic_model,
+)
+
+
+class TestSyntheticModel:
+    def test_deterministic_for_seed(self):
+        a = synthetic_model(seed=42)
+        b = synthetic_model(seed=42)
+        assert a.layers == b.layers
+
+    def test_seeds_differ(self):
+        assert synthetic_model(seed=1).layers != synthetic_model(seed=2).layers
+
+    def test_layer_count(self):
+        model = synthetic_model(GeneratorSpec(num_layers=7))
+        assert model.num_layers == 7
+
+    def test_ranges_respected(self):
+        spec = GeneratorSpec(num_layers=50,
+                             compute_cycles_range=(100.0, 200.0),
+                             comm_bytes_range=(1024.0, 2048.0))
+        model = synthetic_model(spec)
+        for layer in model.layers:
+            assert 100.0 <= layer.forward_cycles <= 200.0
+            assert 1024.0 <= layer.weight_grad_comm.size_bytes <= 2048.0
+
+    def test_comm_probability_zero_silences_layers(self):
+        spec = GeneratorSpec(num_layers=10, comm_probability=0.0)
+        model = synthetic_model(spec)
+        assert model.total_comm_bytes == 0.0
+
+    def test_strategy_passthrough(self):
+        model = synthetic_model(strategy=MODEL_PARALLEL)
+        assert model.strategy is MODEL_PARALLEL
+
+    def test_runs_through_training_loop(self):
+        from repro.config import (SimulationConfig, SystemConfig, TorusShape,
+                                  paper_network_config)
+        from repro.system import System
+        from repro.topology import build_torus_topology
+        from repro.workload import TrainingLoop
+
+        net = paper_network_config()
+        cfg = SystemConfig()
+        topo = build_torus_topology(TorusShape(2, 2, 2), net, cfg)
+        system = System(topo, SimulationConfig(system=cfg, network=net))
+        model = synthetic_model(GeneratorSpec(num_layers=5), seed=7)
+        report = TrainingLoop(system, model, num_iterations=1).run(
+            max_events=100_000_000)
+        assert report.total_cycles > 0
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            GeneratorSpec(num_layers=0)
+        with pytest.raises(WorkloadError):
+            GeneratorSpec(compute_cycles_range=(100.0, 50.0))
+        with pytest.raises(WorkloadError):
+            GeneratorSpec(comm_probability=2.0)
