@@ -11,7 +11,6 @@ holds chunks back.
 from repro.collectives import CollectiveOp
 from repro.config import CollectiveAlgorithm, TorusShape
 from repro.config.units import MB
-from repro.harness import run_collective, torus_platform
 from repro.config.parameters import SystemConfig, SimulationConfig
 from repro.system import System
 from repro.topology import build_torus_topology

@@ -1,0 +1,49 @@
+"""Ablation — runtime sanitizer overhead on a representative collective.
+
+The sanitizer's contract is zero overhead when disabled (no checker
+objects exist; instrumentation is a single ``is not None`` test) and a
+small, bounded cost when enabled.  This bench times the same all-reduce
+with the sanitizer off and on, checks the results agree exactly, and
+reports the wall-clock ratio.
+"""
+
+import time
+
+from repro.collectives import CollectiveOp
+from repro.config import TorusShape
+from repro.config.units import MB
+from repro.harness.runners import run_collective, torus_platform
+
+from bench_common import print_table, run_once
+
+
+def time_run(sanitize: bool):
+    start = time.perf_counter()
+    result = run_collective(torus_platform(TorusShape(2, 4, 4)),
+                            CollectiveOp.ALL_REDUCE, 4 * MB,
+                            sanitize=sanitize)
+    elapsed = time.perf_counter() - start
+    return result.duration_cycles, elapsed
+
+
+def run_sweep():
+    cycles_off, wall_off = time_run(sanitize=False)
+    cycles_on, wall_on = time_run(sanitize=True)
+    return [{
+        "sanitize": "off", "sim cycles": cycles_off, "wall s": wall_off,
+    }, {
+        "sanitize": "on", "sim cycles": cycles_on, "wall s": wall_on,
+        "overhead x": wall_on / wall_off if wall_off else float("nan"),
+    }]
+
+
+def test_sanitizer_overhead(benchmark):
+    rows = run_once(benchmark, run_sweep)
+    print_table("Ablation: runtime sanitizer overhead", rows)
+
+    assert rows[0]["sim cycles"] == rows[1]["sim cycles"], (
+        "the sanitizer must observe, never perturb, simulated time")
+    # Wall-clock bound is deliberately loose (shared CI machines): the
+    # checkers are O(1) per event/flit, so anything near parity passes.
+    assert rows[1]["wall s"] < rows[0]["wall s"] * 5.0, (
+        "sanitizer overhead should be a small constant factor")

@@ -112,6 +112,9 @@ def _add_platform_args(p: argparse.ArgumentParser) -> None:
                    help="chunks per collective set (Table III #16)")
     p.add_argument("--compute-scale", type=float, default=1.0,
                    help="NPU compute-power multiplier (Fig. 18)")
+    p.add_argument("--sanitize", action="store_true",
+                   help="enable the runtime invariant sanitizer (time-travel, "
+                        "livelock, flit/credit conservation, barrier checks)")
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
@@ -120,7 +123,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
         model = workload_parser.load(args.workload_file)
     else:
         model = _MODELS[args.model](platform.config.compute)
-    report, system = run_training(model, platform, num_iterations=args.num_passes)
+    report, system = run_training(model, platform, num_iterations=args.num_passes,
+                                  sanitize=args.sanitize)
     print(RunSummary.from_report(report).format())
     if args.layer_table:
         print()
@@ -133,7 +137,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
 def _cmd_collective(args: argparse.Namespace) -> int:
     platform = _build_platform(args)
-    result = run_collective(platform, _OPS[args.op], args.size_mb * MB)
+    result = run_collective(platform, _OPS[args.op], args.size_mb * MB,
+                            sanitize=args.sanitize)
     print(f"{args.op} of {args.size_mb} MB on {result.label} "
           f"({result.num_npus} NPUs): {result.duration_cycles:,.0f} cycles")
     if args.breakdown:
@@ -149,10 +154,34 @@ def _cmd_bandwidth(args: argparse.Namespace) -> int:
         sizes = [float(tok) * MB for tok in args.sizes_mb.split(",")]
     except ValueError:
         raise ConfigError(f"bad --sizes-mb list: {args.sizes_mb!r}") from None
-    points = measure(lambda: _build_platform(args), _OPS[args.op], sizes)
+    points = measure(lambda: _build_platform(args), _OPS[args.op], sizes,
+                     sanitize=args.sanitize)
     print(f"{args.op} bandwidth test on {_build_platform(args).name}:")
     print(format_points(points))
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.sanitize import lint_presets, lint_spec_file
+    from repro.sanitize.findings import reports_to_json
+
+    reports = []
+    if args.presets or not args.specs:
+        reports.extend(lint_presets())
+    for path in args.specs:
+        reports.append(lint_spec_file(path))
+
+    if args.json:
+        print(reports_to_json(reports))
+    else:
+        for report in reports:
+            if report.findings:
+                print(report.format())
+            else:
+                print(f"{report.source}: ok")
+
+    clean = all(report.ok(strict=args.strict) for report in reports)
+    return 0 if clean else 1
 
 
 def _cmd_memory(args: argparse.Namespace) -> int:
@@ -212,6 +241,19 @@ def build_arg_parser() -> argparse.ArgumentParser:
     bw.add_argument("--sizes-mb", default="0.0625,0.5,4,32",
                     help="comma-separated payload sizes in MB")
     bw.set_defaults(func=_cmd_bandwidth)
+
+    lint = sub.add_parser(
+        "lint", help="statically check run-spec / config files before simulating")
+    lint.add_argument("specs", nargs="*",
+                      help="run-spec or config JSON files (default: lint the "
+                           "shipped paper presets)")
+    lint.add_argument("--presets", action="store_true",
+                      help="also lint the shipped paper presets")
+    lint.add_argument("--json", action="store_true",
+                      help="emit machine-readable findings as JSON")
+    lint.add_argument("--strict", action="store_true",
+                      help="treat warnings as errors (exit nonzero)")
+    lint.set_defaults(func=_cmd_lint)
 
     mem = sub.add_parser("memory",
                          help="estimate per-NPU memory footprint of a model")

@@ -64,6 +64,9 @@ class CollectiveContext:
         if reduction_cycles_per_kb < 0:
             raise CollectiveError("reduction rate must be >= 0")
         self.backend = backend
+        #: The backend's runtime sanitizer (None unless --sanitize); state
+        #: machines hand it to their CountdownBarriers for arrival checking.
+        self.sanitizer = backend.sanitizer
         self.endpoint_delay_cycles = endpoint_delay_cycles
         self.reduction_cycles_per_kb = reduction_cycles_per_kb
         self.packet_routing = packet_routing

@@ -22,6 +22,7 @@ from repro.collectives.base import (
 )
 from repro.collectives.context import CollectiveContext
 from repro.errors import CollectiveError
+from repro.events.engine import CountdownBarrier
 from repro.network.channel import SwitchChannel
 
 
@@ -56,7 +57,19 @@ class _DirectExchangeBase(CollectiveAlgorithmBase):
         self.switches = list(switches)
         self.lsq_offset = lsq_offset
         self.message_bytes = self.size_bytes / len(self.nodes)
-        self._received: dict[int, int] = {n: 0 for n in self.nodes}
+        # Each node is done after the N-1 concurrent receives of the
+        # one-step exchange; the barrier's arrival accounting is what the
+        # runtime sanitizer audits (over-arrival = duplicated delivery,
+        # under-arrival at quiescence = a receive that never happened).
+        self._barriers = {
+            n: CountdownBarrier(
+                len(self.nodes) - 1,
+                lambda n=n: self._mark_done(n),
+                name=f"{label}:node{n}",
+                sanitizer=ctx.sanitizer,
+            )
+            for n in self.nodes
+        }
         self._position = {n: i for i, n in enumerate(self.nodes)}
 
     def _switch_for(self, src: int, dst: int) -> SwitchChannel:
@@ -84,9 +97,7 @@ class _DirectExchangeBase(CollectiveAlgorithmBase):
         self.ctx.after(delay, lambda: self._after_receive(node))
 
     def _after_receive(self, node: int) -> None:
-        self._received[node] += 1
-        if self._received[node] == len(self.nodes) - 1:
-            self._mark_done(node)
+        self._barriers[node].arrive()
 
 
 class DirectReduceScatter(_DirectExchangeBase):

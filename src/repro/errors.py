@@ -38,3 +38,7 @@ class WorkloadError(ReproError):
 
 class SimulationError(ReproError):
     """The event engine detected an inconsistency (e.g. time moving backwards)."""
+
+
+class SanitizerError(ReproError):
+    """A runtime invariant checker detected a violation (see repro.sanitize)."""

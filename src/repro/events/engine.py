@@ -40,10 +40,11 @@ class _ScheduledEvent:
 class EventHandle:
     """Handle returned by :meth:`EventQueue.schedule`; allows cancellation."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_queue")
 
-    def __init__(self, event: _ScheduledEvent):
+    def __init__(self, event: _ScheduledEvent, queue: "EventQueue"):
         self._event = event
+        self._queue = queue
 
     @property
     def time(self) -> float:
@@ -56,7 +57,9 @@ class EventHandle:
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent; lazy removal."""
-        self._event.cancelled = True
+        if not self._event.cancelled:
+            self._event.cancelled = True
+            self._queue._cancelled_in_heap += 1
 
 
 class EventQueue:
@@ -77,6 +80,7 @@ class EventQueue:
         self._now = 0.0
         self._events_processed = 0
         self._running = False
+        self._cancelled_in_heap = 0
 
     @property
     def now(self) -> float:
@@ -90,7 +94,12 @@ class EventQueue:
 
     @property
     def pending(self) -> int:
-        """Number of events still in the queue (including cancelled ones)."""
+        """Number of *live* (non-cancelled) events still in the queue."""
+        return len(self._heap) - self._cancelled_in_heap
+
+    @property
+    def heap_size(self) -> int:
+        """Raw heap population, including lazily-removed cancelled events."""
         return len(self._heap)
 
     def schedule_at(self, time: float, callback: EventCallback) -> EventHandle:
@@ -101,7 +110,7 @@ class EventQueue:
             )
         event = _ScheduledEvent(time=time, seq=next(self._seq), callback=callback)
         heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        return EventHandle(event, self)
 
     def schedule(self, delay: float, callback: EventCallback) -> EventHandle:
         """Schedule ``callback`` to fire ``delay`` cycles from now."""
@@ -118,6 +127,7 @@ class EventQueue:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._cancelled_in_heap -= 1
                 continue
             self._now = event.time
             self._events_processed += 1
@@ -140,6 +150,7 @@ class EventQueue:
                 head = self._heap[0]
                 if head.cancelled:
                     heapq.heappop(self._heap)
+                    self._cancelled_in_heap -= 1
                     continue
                 if until is not None and head.time > until:
                     self._now = until
@@ -154,10 +165,17 @@ class EventQueue:
             self._running = False
 
     def reset(self) -> None:
-        """Drop all pending events and rewind the clock to zero."""
+        """Drop all pending events and rewind the clock to zero.
+
+        Also restarts the FIFO sequence counter so a reset queue schedules
+        events with the same tie-break order as a fresh one — identical
+        runs on a reused queue stay bit-identical (cross-run determinism).
+        """
         self._heap.clear()
+        self._seq = itertools.count()
         self._now = 0.0
         self._events_processed = 0
+        self._cancelled_in_heap = 0
 
 
 class Timeline:
@@ -185,14 +203,27 @@ class CountdownBarrier:
 
     Used by collective state machines to wait for N concurrent completions
     (e.g. the N-1 simultaneous receives of a direct alltoall step).
+
+    When a runtime sanitizer is supplied (see
+    :class:`repro.sanitize.runtime.RuntimeSanitizer`), the barrier
+    registers with its barrier checker: over-arrival is reported with the
+    barrier's name and expected count, and barriers still unfired at
+    quiescence are surfaced as under-arrivals.  The sanitizer is passed
+    duck-typed so the event engine stays import-free of the sanitizer.
     """
 
-    def __init__(self, count: int, on_done: EventCallback):
+    def __init__(self, count: int, on_done: EventCallback,
+                 name: str = "", sanitizer: Any = None):
         if count < 0:
             raise SimulationError(f"barrier count must be >= 0, got {count}")
+        self.name = name
+        self.count = count
         self._remaining = count
         self._on_done = on_done
         self._fired = False
+        self._sanitizer = sanitizer
+        if sanitizer is not None:
+            sanitizer.barriers.register(self)
         if count == 0:
             self._fire()
 
@@ -206,7 +237,12 @@ class CountdownBarrier:
 
     def arrive(self, _result: Any = None) -> None:
         if self._fired:
-            raise SimulationError("arrive() after barrier already fired")
+            if self._sanitizer is not None:
+                self._sanitizer.barriers.over_arrival(self)
+            raise SimulationError(
+                f"arrive() after barrier {self.name or 'anonymous'} "
+                f"(count={self.count}) already fired"
+            )
         self._remaining -= 1
         if self._remaining == 0:
             self._fire()
@@ -215,4 +251,6 @@ class CountdownBarrier:
 
     def _fire(self) -> None:
         self._fired = True
+        if self._sanitizer is not None:
+            self._sanitizer.barriers.fired(self)
         self._on_done()

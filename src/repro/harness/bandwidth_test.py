@@ -47,12 +47,13 @@ def measure(
     platform_builder: Callable[[], PlatformSpec],
     op: CollectiveOp,
     sizes: Sequence[float],
+    sanitize: bool = False,
 ) -> list[BandwidthPoint]:
     """Run the bandwidth test: one fresh platform per point."""
     points = []
     for size in sizes:
         platform = platform_builder()
-        system = platform.build_system()
+        system = platform.build_system(sanitize=sanitize)
         collective = system.request_collective(op, size)
         system.run_until_idle(max_events=MAX_EVENTS)
         latency = collective.duration_cycles

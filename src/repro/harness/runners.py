@@ -67,8 +67,15 @@ class PlatformSpec:
     topology_builder: Callable[[SystemConfig], LogicalTopology]
     config: SimulationConfig
 
-    def build_system(self) -> System:
+    def build_system(self, sanitize: bool = False) -> System:
+        """Build the system; ``sanitize=True`` attaches a fresh
+        :class:`repro.sanitize.runtime.RuntimeSanitizer` (runtime invariant
+        checking at a small instrumentation cost)."""
         topology = self.topology_builder(self.config.system)
+        if sanitize:
+            from repro.sanitize.runtime import RuntimeSanitizer
+
+            return System(topology, self.config, sanitizer=RuntimeSanitizer())
         return System(topology, self.config)
 
 
@@ -156,9 +163,10 @@ def run_collective(
     op: CollectiveOp,
     size_bytes: float,
     max_events: Optional[int] = MAX_EVENTS,
+    sanitize: bool = False,
 ) -> CollectiveResult:
     """Run one chunked collective to completion on a fresh platform."""
-    system = platform.build_system()
+    system = platform.build_system(sanitize=sanitize)
     collective = system.request_collective(op, size_bytes, name=f"{op.value}")
     system.run_until_idle(max_events=max_events)
     if not collective.done:
@@ -187,10 +195,11 @@ def run_training(
     platform: PlatformSpec,
     num_iterations: int = 2,
     max_events: Optional[int] = MAX_EVENTS,
+    sanitize: bool = False,
 ) -> tuple[TrainingReport, System]:
     """Run a training workload; returns the report and the system (for
     its delay breakdown)."""
-    system = platform.build_system()
+    system = platform.build_system(sanitize=sanitize)
     report = TrainingLoop(system, model, num_iterations=num_iterations).run(
         max_events=max_events
     )

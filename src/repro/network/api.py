@@ -22,10 +22,16 @@ DeliveryCallback = Callable[[Message], None]
 
 
 class NetworkBackend(abc.ABC):
-    """The lightweight network interface of Fig. 6."""
+    """The lightweight network interface of Fig. 6.
 
-    def __init__(self, events: EventQueue):
+    ``sanitizer`` (optional, see :mod:`repro.sanitize.runtime`) receives
+    send/delivery conservation events; when absent the default path is
+    unchanged.
+    """
+
+    def __init__(self, events: EventQueue, sanitizer=None):
         self.events = events
+        self.sanitizer = sanitizer
         self.messages_delivered = 0
         self.bytes_delivered = 0.0
 
@@ -46,9 +52,15 @@ class NetworkBackend(abc.ABC):
         endpoints).  Implementations must fill the message's timing fields.
         """
 
+    def _record_send(self, message: Message) -> None:
+        if self.sanitizer is not None:
+            self.sanitizer.conservation.message_sent(message)
+
     def _record_delivery(self, message: Message) -> None:
         self.messages_delivered += 1
         self.bytes_delivered += message.size_bytes
+        if self.sanitizer is not None:
+            self.sanitizer.conservation.message_delivered(message)
 
 
 def validate_path(message: Message, path: list[Link]) -> None:

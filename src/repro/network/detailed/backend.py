@@ -10,6 +10,8 @@ timing on small configurations (see the backend-agreement tests and the
 
 from __future__ import annotations
 
+import itertools
+
 from repro.config.parameters import NetworkConfig
 from repro.errors import NetworkError
 from repro.events.engine import EventQueue
@@ -23,20 +25,28 @@ from repro.network.message import Message
 class DetailedBackend(NetworkBackend):
     """Flit/credit/VC-level backend over the same physical links."""
 
-    def __init__(self, events: EventQueue, network: NetworkConfig):
-        super().__init__(events)
+    def __init__(self, events: EventQueue, network: NetworkConfig, sanitizer=None):
+        super().__init__(events, sanitizer=sanitizer)
         self.network = network
         self._ports: dict[int, TxPort] = {}
+        # Per-backend VC assignment counter: using the global packet id
+        # would rotate VC choices with every packet built anywhere in the
+        # process, breaking run-to-run determinism.
+        self._vc_seq = itertools.count()
 
     def _port_for(self, link: Link) -> TxPort:
         port = self._ports.get(link.link_id)
         if port is None:
             port = TxPort(link, self.network, self.events, self._port_for)
+            if self.sanitizer is not None:
+                port.observer = self.sanitizer.conservation
+                self.sanitizer.conservation.register_port(port)
             self._ports[link.link_id] = port
         return port
 
     def send(self, message: Message, path: list[Link], on_delivered: DeliveryCallback) -> None:
         validate_path(message, path)
+        self._record_send(message)
         message.created_at = self.now
 
         packet_bytes = min(link.config.packet_size_bytes for link in path)
@@ -45,11 +55,15 @@ class DetailedBackend(NetworkBackend):
         total_flits = sum(len(p.flits) for p in packets)
         if total_flits == 0:
             raise NetworkError("message produced no flits")
+        if self.sanitizer is not None:
+            self.sanitizer.conservation.flits_created(message, total_flits)
 
         state = {"remaining": total_flits, "first_tx": None}
         entry_port = self._port_for(path[0])
 
         def flit_delivered(_flit) -> None:
+            if self.sanitizer is not None:
+                self.sanitizer.conservation.flit_delivered(message)
             state["remaining"] -= 1
             if state["remaining"] == 0:
                 # Approximate injection time as creation (flit-level queues
@@ -61,7 +75,7 @@ class DetailedBackend(NetworkBackend):
                 on_delivered(message)
 
         for packet in packets:
-            vc = packet.packet_id % self.network.vcs_per_vnet
+            vc = next(self._vc_seq) % self.network.vcs_per_vnet
             for flit in packet.flits:
                 ctx = HopContext(
                     path=path,

@@ -60,6 +60,9 @@ class TxPort:
         self._rr = 0
         self._sending = False
         self.flits_sent = 0
+        #: Optional conservation observer (repro.sanitize.runtime); ``None``
+        #: on the default path so instrumentation costs one attribute test.
+        self.observer = None
 
     # -- queue interface --------------------------------------------------------
 
@@ -67,10 +70,14 @@ class TxPort:
         if not 0 <= ctx.vc < len(self.queues):
             raise NetworkError(f"VC {ctx.vc} out of range on {self.link!r}")
         self.queues[ctx.vc].append((flit, ctx))
+        if self.observer is not None:
+            self.observer.on_flit_enqueued(self, flit, ctx)
         self._try_send()
 
     def release_credit(self, vc: int) -> None:
         """Downstream buffer slot freed (flit departed the next hop)."""
+        if self.observer is not None:
+            self.observer.on_credit_released(self, vc)
         self.credits[vc] += 1
         if self.credits[vc] > self.network.buffers_per_vc:
             raise NetworkError(f"credit overflow on {self.link!r} vc={vc}")
@@ -102,6 +109,9 @@ class TxPort:
 
         if not ctx.is_last_hop:
             self.credits[vc] -= 1
+        if self.observer is not None:
+            self.observer.on_flit_transmit(self, flit, ctx,
+                                           credit_taken=not ctx.is_last_hop)
         if ctx.upstream is not None:
             # Leaving the buffer this flit occupied at the upstream hop.
             ctx.upstream.release_credit(vc)

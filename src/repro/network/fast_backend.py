@@ -24,12 +24,13 @@ from repro.network.message import Message
 class FastBackend(NetworkBackend):
     """Analytical link-level backend (the default)."""
 
-    def __init__(self, events: EventQueue, network: NetworkConfig):
-        super().__init__(events)
+    def __init__(self, events: EventQueue, network: NetworkConfig, sanitizer=None):
+        super().__init__(events, sanitizer=sanitizer)
         self.network = network
 
     def send(self, message: Message, path: list[Link], on_delivered: DeliveryCallback) -> None:
         validate_path(message, path)
+        self._record_send(message)
         message.created_at = self.now
 
         # Reserve each hop in order; hop k may begin once the head of the

@@ -1,0 +1,45 @@
+"""Simulation sanitizer: static config lint + runtime invariant checking.
+
+Two complementary halves guard the event/network/collective stack:
+
+* :mod:`repro.sanitize.static_lint` — checks a fully-assembled run
+  *before* simulation starts (dimension products, flit/packet alignment,
+  unit consistency, mapping bijections, fault-factor ranges), surfaced
+  through the ``astra-repro lint`` subcommand with machine-readable
+  findings.
+* :mod:`repro.sanitize.runtime` — pluggable invariant checkers installed
+  into the event queue, both network backends and the collective state
+  machines (time-travel scheduling, zero-delay livelock, flit/credit
+  conservation, barrier over/under-arrival, drain deadlocks).  Off by
+  default; enabled with ``--sanitize`` / ``sanitize=True``.
+"""
+
+from repro.sanitize.findings import Finding, LintReport, Severity
+from repro.sanitize.runtime import (
+    RuntimeSanitizer,
+    SanitizedEventQueue,
+    SanitizerConfig,
+)
+from repro.sanitize.static_lint import (
+    lint_config,
+    lint_platform,
+    lint_presets,
+    lint_run_spec,
+    lint_spec_file,
+    lint_topology,
+)
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "Severity",
+    "RuntimeSanitizer",
+    "SanitizedEventQueue",
+    "SanitizerConfig",
+    "lint_config",
+    "lint_platform",
+    "lint_presets",
+    "lint_run_spec",
+    "lint_spec_file",
+    "lint_topology",
+]

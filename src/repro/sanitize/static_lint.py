@@ -1,0 +1,573 @@
+"""Static lint pass over fully-assembled simulation runs.
+
+Checks everything that can be checked *before* the first event fires:
+
+* parameter-level unit consistency and ranges (on the raw dict, so a bad
+  file yields findings with parameter paths instead of one exception),
+* cross-parameter consistency — flit width divides packet size, message
+  quantum fits a packet, bandwidth hierarchy sanity,
+* logical-topology structure — dimension products match the NPU count,
+  logical→physical group mappings are bijections, channel uniformity,
+* fault-injection factors in range for the target fabric.
+
+The entry points mirror how runs are assembled: :func:`lint_config` for
+a constructed :class:`SimulationConfig`, :func:`lint_run_spec` /
+:func:`lint_spec_file` for JSON run specs, :func:`lint_platform` for a
+harness :class:`PlatformSpec`, and :func:`lint_presets` for everything
+shipped in :mod:`repro.config.presets`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Optional
+
+from repro.config.io import config_from_dict
+from repro.config.parameters import (
+    AllToAllShape,
+    ComputeConfig,
+    LinkConfig,
+    NetworkConfig,
+    SimulationConfig,
+    SystemConfig,
+    TopologyKind,
+    TorusShape,
+)
+from repro.config.units import Clock
+from repro.errors import ConfigError, ReproError
+from repro.sanitize.findings import Finding, LintReport, Severity
+
+#: Top-level keys a run-spec JSON document may carry.
+RUN_SPEC_KEYS = {"config", "topology", "expected_npus", "faults"}
+
+#: Keys of the ``topology`` section of a run spec.
+TOPOLOGY_KEYS = {"kind", "shape"}
+
+#: Keys of the ``faults`` section of a run spec.
+FAULT_KEYS = {"count", "bandwidth_factor", "extra_latency_cycles", "kind", "seed"}
+
+_SECTION_TYPES = {
+    "system": SystemConfig,
+    "compute": ComputeConfig,
+    "clock": Clock,
+}
+
+#: (section path, field, check, message) — raw-value range rules that give
+#: the parameter path in the finding instead of a bare ConfigError.
+_POSITIVE = ("must be positive", lambda v: v > 0)
+_NON_NEGATIVE = ("must be >= 0", lambda v: v >= 0)
+_LINK_RULES = {
+    "bandwidth_gbps": _POSITIVE,
+    "latency_cycles": _NON_NEGATIVE,
+    "packet_size_bytes": _POSITIVE,
+    "efficiency": ("must be in (0, 1]", lambda v: 0 < v <= 1),
+    "quantum_overhead_cycles": _NON_NEGATIVE,
+}
+_NETWORK_RULES = {
+    "flit_width_bits": _POSITIVE,
+    "router_latency_cycles": _NON_NEGATIVE,
+    "vcs_per_vnet": _POSITIVE,
+    "buffers_per_vc": _POSITIVE,
+    "switch_latency_cycles": _NON_NEGATIVE,
+}
+_SYSTEM_RULES = {
+    "local_rings": ("must be >= 1", lambda v: v >= 1),
+    "vertical_rings": ("must be >= 1", lambda v: v >= 1),
+    "horizontal_rings": ("must be >= 1", lambda v: v >= 1),
+    "global_switches": ("must be >= 1", lambda v: v >= 1),
+    "endpoint_delay_cycles": _NON_NEGATIVE,
+    "preferred_set_splits": ("must be >= 1", lambda v: v >= 1),
+    "dispatch_threshold": ("must be >= 1", lambda v: v >= 1),
+    "dispatch_batch": ("must be >= 1", lambda v: v >= 1),
+    "reduction_cycles_per_kb": _NON_NEGATIVE,
+}
+
+
+def _known_fields(cls) -> set[str]:
+    return {f.name for f in dataclasses.fields(cls)}
+
+
+def _check_rules(report: LintReport, data: dict, rules: dict, prefix: str) -> None:
+    for name, (msg, predicate) in rules.items():
+        value = data.get(name)
+        if value is None or isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        if not predicate(value):
+            report.add(Severity.ERROR, "out-of-range", f"{prefix}.{name}",
+                       f"{msg}, got {value}")
+
+
+def _check_unknown_keys(report: LintReport, data: dict, known: set[str],
+                        prefix: str) -> None:
+    for key in data:
+        if key not in known:
+            hint = _closest(key, known)
+            suffix = f" (did you mean {hint!r}?)" if hint else ""
+            report.add(Severity.ERROR, "unknown-parameter",
+                       f"{prefix}.{key}" if prefix else key,
+                       f"unknown parameter{suffix}")
+
+
+def _closest(key: str, known: set[str]) -> Optional[str]:
+    """Cheap typo suggestion: a known key sharing a long prefix/suffix."""
+    candidates = [k for k in known
+                  if k.startswith(key[:4]) or k.endswith(key[-4:])]
+    return min(candidates, key=len) if candidates else None
+
+
+# -- config-level lint ----------------------------------------------------------
+
+
+def _lint_link(report: LintReport, link: LinkConfig, flit_bytes: int,
+               prefix: str) -> None:
+    if link.packet_size_bytes < flit_bytes:
+        report.add(
+            Severity.ERROR, "flit-packet-misalignment",
+            f"{prefix}.packet_size_bytes",
+            f"packet size {link.packet_size_bytes} B is smaller than the "
+            f"{flit_bytes} B flit; every packet would waste a partial flit",
+        )
+    elif link.packet_size_bytes % flit_bytes != 0:
+        report.add(
+            Severity.ERROR, "flit-packet-misalignment",
+            f"{prefix}.packet_size_bytes",
+            f"packet size {link.packet_size_bytes} B is not a multiple of "
+            f"the {flit_bytes} B flit width; the detailed backend would pad "
+            f"every packet's tail flit",
+        )
+    if (link.message_quantum_bytes is not None
+            and link.message_quantum_bytes > link.packet_size_bytes):
+        # INFO only: the shipped Table III defaults have a 512 B quantum
+        # over 256 B packets, so this is expected on the paper platforms.
+        report.add(
+            Severity.INFO, "quantum-exceeds-packet",
+            f"{prefix}.message_quantum_bytes",
+            f"message quantum {link.message_quantum_bytes} B exceeds the "
+            f"packet size {link.packet_size_bytes} B; endpoint overheads "
+            f"are charged per quantum, coarser than packetization",
+        )
+    if link.efficiency < 0.5:
+        report.add(
+            Severity.WARNING, "low-link-efficiency",
+            f"{prefix}.efficiency",
+            f"efficiency {link.efficiency} means headers outweigh payload; "
+            f"Table III quotes 0.94",
+        )
+
+
+def lint_config(config: SimulationConfig, source: str = "") -> list[Finding]:
+    """Cross-parameter consistency checks on a constructed config."""
+    report = LintReport(source=source)
+    network = config.network
+    if network is not None:
+        if network.flit_width_bits % 8 != 0:
+            report.add(
+                Severity.ERROR, "flit-width-not-byte-aligned",
+                "network.flit_width_bits",
+                f"flit width {network.flit_width_bits} bits is not a whole "
+                f"number of bytes",
+            )
+        else:
+            flit_bytes = network.flit_width_bytes
+            _lint_link(report, network.local_link, flit_bytes,
+                       "network.local_link")
+            _lint_link(report, network.package_link, flit_bytes,
+                       "network.package_link")
+        if (network.local_link.bandwidth_gbps
+                < network.package_link.bandwidth_gbps):
+            report.add(
+                Severity.WARNING, "inverted-bandwidth-hierarchy",
+                "network.local_link.bandwidth_gbps",
+                f"intra-package links ({network.local_link.bandwidth_gbps} "
+                f"GB/s) are slower than inter-package links "
+                f"({network.package_link.bandwidth_gbps} GB/s); the paper's "
+                f"hierarchy assumes the opposite",
+            )
+    if not 1e6 <= config.clock.frequency_hz <= 1e11:
+        report.add(
+            Severity.WARNING, "implausible-clock", "clock.frequency_hz",
+            f"{config.clock.frequency_hz} Hz is outside the plausible "
+            f"1 MHz - 100 GHz range; check the cycle <-> seconds mapping",
+        )
+    if config.system.dispatch_threshold > config.system.dispatch_batch:
+        report.add(
+            Severity.INFO, "dispatch-threshold-exceeds-batch",
+            "system.dispatch_threshold",
+            f"threshold {config.system.dispatch_threshold} > batch "
+            f"{config.system.dispatch_batch}: the dispatcher refills less "
+            f"than one threshold per round",
+        )
+    return report.findings
+
+
+def lint_config_dict(
+    data: dict, source: str = ""
+) -> tuple[Optional[SimulationConfig], list[Finding]]:
+    """Lint a raw SimulationConfig dict, then construct it.
+
+    Raw-level rules fire first so a bad file produces parameter-anchored
+    findings; construction catches whatever the rules do not cover.
+    """
+    report = LintReport(source=source)
+    _check_unknown_keys(report, data,
+                        {"system", "network", "compute", "clock", "num_passes"},
+                        "")
+    for section, cls in _SECTION_TYPES.items():
+        sub = data.get(section)
+        if isinstance(sub, dict):
+            _check_unknown_keys(report, sub, _known_fields(cls), section)
+    network_data = data.get("network")
+    if isinstance(network_data, dict):
+        _check_unknown_keys(report, network_data, _known_fields(NetworkConfig),
+                            "network")
+        _check_rules(report, network_data, _NETWORK_RULES, "network")
+        for link_key in ("local_link", "package_link"):
+            link_data = network_data.get(link_key)
+            if isinstance(link_data, dict):
+                _check_unknown_keys(report, link_data,
+                                    _known_fields(LinkConfig),
+                                    f"network.{link_key}")
+                _check_rules(report, link_data, _LINK_RULES,
+                             f"network.{link_key}")
+    system_data = data.get("system")
+    if isinstance(system_data, dict):
+        _check_rules(report, system_data, _SYSTEM_RULES, "system")
+    if report.errors:
+        return None, report.findings
+
+    try:
+        config = config_from_dict(data)
+    except ConfigError as exc:
+        report.add(Severity.ERROR, "config-error", "config", str(exc))
+        return None, report.findings
+    report.extend(lint_config(config, source=source))
+    return config, report.findings
+
+
+# -- topology lint --------------------------------------------------------------
+
+
+def parse_shape(spec: str) -> tuple[int, ...]:
+    """Parse an ``MxN`` / ``MxNxK`` shape string (lint-friendly errors)."""
+    try:
+        return tuple(int(tok) for tok in str(spec).lower().split("x"))
+    except ValueError:
+        raise ConfigError(
+            f"bad shape {spec!r}; expected e.g. 2x4x4 or 4x16"
+        ) from None
+
+
+def lint_fabric_structure(topology, source: str = "") -> list[Finding]:
+    """Structural checks on a built logical topology.
+
+    Verifies the invariants collective composition depends on: the
+    logical→physical mapping (``group_of``) assigns every NPU to exactly
+    one registered group per dimension, group sizes are uniform and their
+    product matches the NPU count, every group's channels actually span
+    its members, and channel counts are uniform across groups.
+    """
+    report = LintReport(source=source)
+    fabric = topology.fabric
+
+    product = 1
+    for dim in fabric.dimensions:
+        groups = fabric.groups(dim)
+        membership: dict = {g: set() for g in groups}
+        unmapped: list[int] = []
+        for npu in range(fabric.num_npus):
+            try:
+                group = fabric.group_of(dim, npu)
+            except ReproError:
+                unmapped.append(npu)
+                continue
+            if group not in membership:
+                report.add(
+                    Severity.ERROR, "mapping-not-bijective",
+                    f"topology.{dim.value}",
+                    f"NPU {npu} maps to group {group}, which has no "
+                    f"registered channels",
+                )
+                continue
+            membership[group].add(npu)
+        if unmapped:
+            report.add(
+                Severity.ERROR, "mapping-not-bijective",
+                f"topology.{dim.value}",
+                f"NPUs {unmapped} map to no {dim.value} group; the "
+                f"logical→physical mapping must cover every NPU exactly once",
+            )
+        empty = [g for g, members in membership.items() if not members]
+        if empty:
+            report.add(
+                Severity.ERROR, "mapping-not-bijective",
+                f"topology.{dim.value}",
+                f"groups {empty} have channels but no member NPUs",
+            )
+        sizes = {len(members) for members in membership.values() if members}
+        if len(sizes) > 1:
+            report.add(
+                Severity.ERROR, "non-uniform-groups",
+                f"topology.{dim.value}",
+                f"groups have different sizes: {sorted(sizes)}",
+            )
+        elif sizes:
+            product *= sizes.pop()
+
+        for group, channels in groups.items():
+            members = membership.get(group, set())
+            for channel in channels:
+                missing = sorted(members - set(channel.nodes))
+                if missing:
+                    report.add(
+                        Severity.ERROR, "channel-missing-nodes",
+                        f"topology.{dim.value}.group{group}",
+                        f"channel {getattr(channel, 'name', channel)!r} does "
+                        f"not reach group members {missing}",
+                    )
+        counts = {len(chs) for chs in groups.values()}
+        if len(counts) != 1:
+            report.add(
+                Severity.ERROR, "non-uniform-channels",
+                f"topology.{dim.value}",
+                f"groups expose different channel counts: {sorted(counts)}",
+            )
+
+    if product != fabric.num_npus:
+        report.add(
+            Severity.ERROR, "dim-product-mismatch", "topology.shape",
+            f"logical group sizes multiply to {product} but the fabric has "
+            f"{fabric.num_npus} NPUs",
+        )
+    return report.findings
+
+
+def lint_topology(
+    kind: TopologyKind,
+    shape_dims: tuple[int, ...],
+    config: SimulationConfig,
+    expected_npus: Optional[int] = None,
+    source: str = "",
+) -> list[Finding]:
+    """Shape/kind consistency, then full structural lint of the built fabric."""
+    from repro.topology.logical import build_alltoall_topology, build_torus_topology
+
+    report = LintReport(source=source)
+    if kind is TopologyKind.TORUS and len(shape_dims) != 3:
+        report.add(
+            Severity.ERROR, "shape-arity", "topology.shape",
+            f"Torus shapes are MxNxK (3 dims), got {'x'.join(map(str, shape_dims))}",
+        )
+        return report.findings
+    if kind is TopologyKind.ALLTOALL and len(shape_dims) != 2:
+        report.add(
+            Severity.ERROR, "shape-arity", "topology.shape",
+            f"AllToAll shapes are MxN (2 dims), got {'x'.join(map(str, shape_dims))}",
+        )
+        return report.findings
+
+    product = 1
+    for d in shape_dims:
+        product *= d
+    if expected_npus is not None and product != expected_npus:
+        report.add(
+            Severity.ERROR, "dim-product-mismatch", "topology.shape",
+            f"shape {'x'.join(map(str, shape_dims))} yields {product} NPUs "
+            f"but the run declares expected_npus={expected_npus}",
+        )
+
+    network = config.network
+    if network is None:
+        report.add(
+            Severity.ERROR, "missing-network", "network",
+            "run spec builds a topology but the config carries no network section",
+        )
+        return report.findings
+    try:
+        if kind is TopologyKind.TORUS:
+            topology = build_torus_topology(
+                TorusShape(*shape_dims), network, config.system)
+        else:
+            topology = build_alltoall_topology(
+                AllToAllShape(*shape_dims), network, config.system)
+    except ReproError as exc:
+        report.add(Severity.ERROR, "topology-error", "topology.shape", str(exc))
+        return report.findings
+    report.extend(lint_fabric_structure(topology, source=source))
+    return report.findings
+
+
+# -- fault lint -----------------------------------------------------------------
+
+
+def lint_faults(data: dict, num_links: Optional[int] = None,
+                source: str = "") -> list[Finding]:
+    """Fault-injection parameters (see :mod:`repro.network.faults`)."""
+    report = LintReport(source=source)
+    _check_unknown_keys(report, data, FAULT_KEYS, "faults")
+    factor = data.get("bandwidth_factor")
+    if factor is not None and isinstance(factor, (int, float)):
+        if not 0 < factor <= 1:
+            report.add(
+                Severity.ERROR, "fault-factor-out-of-range",
+                "faults.bandwidth_factor",
+                f"bandwidth degradation factor must be in (0, 1], got "
+                f"{factor}; 1.0 means no degradation, values above it would "
+                f"*upgrade* the link",
+            )
+    extra = data.get("extra_latency_cycles")
+    if extra is not None and isinstance(extra, (int, float)) and extra < 0:
+        report.add(
+            Severity.ERROR, "fault-factor-out-of-range",
+            "faults.extra_latency_cycles",
+            f"extra latency must be >= 0, got {extra}",
+        )
+    count = data.get("count")
+    if count is not None and isinstance(count, int):
+        if count < 0:
+            report.add(Severity.ERROR, "fault-factor-out-of-range",
+                       "faults.count", f"fault count must be >= 0, got {count}")
+        elif num_links is not None and count > num_links:
+            report.add(
+                Severity.ERROR, "fault-count-exceeds-links", "faults.count",
+                f"cannot degrade {count} links of a fabric with {num_links}",
+            )
+    kind = data.get("kind")
+    if kind is not None and kind not in ("local", "package"):
+        report.add(Severity.ERROR, "unknown-parameter", "faults.kind",
+                   f"link kind must be 'local' or 'package', got {kind!r}")
+    return report.findings
+
+
+# -- run specs and files --------------------------------------------------------
+
+
+def lint_run_spec(data: Any, source: str = "") -> LintReport:
+    """Lint one run-spec (or bare SimulationConfig) dictionary.
+
+    A run spec bundles a ``config`` with the pieces a config alone cannot
+    express: the topology shape the run will build, the NPU count the
+    workload expects, and any fault-injection plan.
+    """
+    report = LintReport(source=source)
+    if not isinstance(data, dict):
+        report.add(Severity.ERROR, "malformed-spec", "",
+                   f"expected a JSON object, got {type(data).__name__}")
+        return report
+
+    is_bare_config = "system" in data and "config" not in data
+    if is_bare_config:
+        config_data, spec = data, {}
+    else:
+        spec = data
+        _check_unknown_keys(report, spec, RUN_SPEC_KEYS, "")
+        config_data = spec.get("config")
+
+    if config_data is not None:
+        config, findings = lint_config_dict(config_data, source=source)
+        report.extend(findings)
+    else:
+        from repro.config.presets import paper_simulation_config
+
+        config = paper_simulation_config()
+
+    topo_data = spec.get("topology")
+    if topo_data is not None and config is not None:
+        if not isinstance(topo_data, dict):
+            report.add(Severity.ERROR, "malformed-spec", "topology",
+                       "topology section must be an object with kind/shape")
+        else:
+            _check_unknown_keys(report, topo_data, TOPOLOGY_KEYS, "topology")
+            try:
+                kind = TopologyKind(topo_data.get("kind", "Torus"))
+                dims = parse_shape(topo_data.get("shape", ""))
+            except (ConfigError, ValueError) as exc:
+                report.add(Severity.ERROR, "malformed-spec", "topology", str(exc))
+            else:
+                report.extend(lint_topology(
+                    kind, dims, config,
+                    expected_npus=spec.get("expected_npus"),
+                    source=source,
+                ))
+
+    faults = spec.get("faults")
+    if faults is not None:
+        if not isinstance(faults, dict):
+            report.add(Severity.ERROR, "malformed-spec", "faults",
+                       "faults section must be an object")
+        else:
+            num_links = _count_links(spec, config)
+            report.extend(lint_faults(faults, num_links=num_links, source=source))
+    return report
+
+
+def _count_links(spec: dict, config: Optional[SimulationConfig]) -> Optional[int]:
+    """Total fabric links when the spec describes a buildable topology."""
+    topo_data = spec.get("topology")
+    if config is None or config.network is None or not isinstance(topo_data, dict):
+        return None
+    from repro.topology.logical import build_alltoall_topology, build_torus_topology
+
+    try:
+        kind = TopologyKind(topo_data.get("kind", "Torus"))
+        dims = parse_shape(topo_data.get("shape", ""))
+        if kind is TopologyKind.TORUS:
+            topology = build_torus_topology(TorusShape(*dims), config.network,
+                                            config.system)
+        else:
+            topology = build_alltoall_topology(AllToAllShape(*dims),
+                                               config.network, config.system)
+    except (ReproError, ValueError, TypeError):
+        return None
+    return topology.fabric.total_links()
+
+
+def lint_spec_file(path: str) -> LintReport:
+    """Lint one JSON config / run-spec file from disk."""
+    report = LintReport(source=str(path))
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except OSError as exc:
+        report.add(Severity.ERROR, "unreadable-file", "", str(exc))
+        return report
+    except json.JSONDecodeError as exc:
+        report.add(Severity.ERROR, "invalid-json", "", str(exc))
+        return report
+    return lint_run_spec(data, source=str(path))
+
+
+# -- platforms and presets ------------------------------------------------------
+
+
+def lint_platform(platform, source: str = "") -> LintReport:
+    """Lint a harness :class:`PlatformSpec`: its config and its built topology."""
+    report = LintReport(source=source or platform.name)
+    report.extend(lint_config(platform.config, source=report.source))
+    try:
+        topology = platform.topology_builder(platform.config.system)
+    except ReproError as exc:
+        report.add(Severity.ERROR, "topology-error", "topology", str(exc))
+        return report
+    report.extend(lint_fabric_structure(topology, source=report.source))
+    return report
+
+
+def lint_presets() -> list[LintReport]:
+    """Lint every shipped preset platform (the CI gate)."""
+    from repro.config.parameters import (
+        AllToAllShape as A2A,
+        CollectiveAlgorithm,
+        TorusShape as Torus,
+    )
+    from repro.harness.runners import alltoall_platform, torus_platform
+
+    platforms = [
+        torus_platform(Torus(2, 4, 4)),
+        torus_platform(Torus(4, 4, 4), algorithm=CollectiveAlgorithm.ENHANCED),
+        torus_platform(Torus(1, 8, 1), symmetric=True),
+        alltoall_platform(A2A(4, 16)),
+        alltoall_platform(A2A(2, 4), algorithm=CollectiveAlgorithm.ENHANCED,
+                          symmetric=True),
+    ]
+    return [lint_platform(p) for p in platforms]

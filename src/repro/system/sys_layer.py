@@ -35,13 +35,24 @@ class System:
         backend: Optional[NetworkBackend] = None,
         events: Optional[EventQueue] = None,
         trace: bool = False,
+        sanitizer=None,
     ):
         self.topology = topology
         self.config = config
-        self.events = events if events is not None else EventQueue()
+        #: Optional repro.sanitize.runtime.RuntimeSanitizer.  When present
+        #: (and no explicit queue/backend was passed) the system builds a
+        #: sanitized event queue and an instrumented backend, and verifies
+        #: quiescence invariants in :meth:`run_until_idle`.
+        self.sanitizer = sanitizer
+        if events is not None:
+            self.events = events
+        elif sanitizer is not None:
+            self.events = sanitizer.make_event_queue()
+        else:
+            self.events = EventQueue()
         if backend is None:
             network = config.network if config.network is not None else topology.fabric.network
-            backend = FastBackend(self.events, network)
+            backend = FastBackend(self.events, network, sanitizer=sanitizer)
         self.backend = backend
         self.breakdown = DelayBreakdown()
         self.scheduler = Scheduler(
@@ -130,15 +141,52 @@ class System:
     # -- running -------------------------------------------------------------------------
 
     def run_until_idle(self, max_events: Optional[int] = None) -> float:
-        """Drain the event queue; returns the final simulated time."""
+        """Drain the event queue; returns the final simulated time.
+
+        Raises on a drain deadlock (queue empty with collectives still
+        outstanding), including a wait-for summary of what never finished;
+        with a sanitizer attached, also verifies the runtime conservation
+        and barrier invariants at quiescence.
+        """
         self.events.run(max_events=max_events)
         if not self.scheduler.idle:
             raise SimulationError(
                 f"event queue drained with {self.scheduler.in_flight_count} chunks "
-                f"in flight and {self.scheduler.ready_count} ready (deadlock?)"
+                f"in flight and {self.scheduler.ready_count} ready (deadlock?)\n"
+                + self.wait_for_summary()
             )
+        if self.sanitizer is not None:
+            self.sanitizer.verify_quiescent(self)
         return self.events.now
 
     def run_until(self, time: float, max_events: Optional[int] = None) -> float:
         self.events.run(until=time, max_events=max_events)
         return self.events.now
+
+    def wait_for_summary(self) -> str:
+        """What the simulation is still waiting on — the deadlock report.
+
+        Lists every unfinished collective set with its chunk progress, and
+        every in-flight chunk execution with the phase its slowest nodes
+        are stuck in (the wait-for relation a drain deadlock needs).
+        """
+        lines = [
+            f"wait-for summary at t={self.events.now:,.0f}: "
+            f"{self.scheduler.ready_count} chunks ready, "
+            f"{self.scheduler.in_flight_count} in flight"
+        ]
+        for collective in self.sets:
+            if collective.done:
+                continue
+            lines.append(
+                f"  set {collective.set_id} ({collective.name or collective.op.value}): "
+                f"{collective.chunks_done}/{collective.num_chunks} chunks done"
+            )
+        for execution in self.scheduler.in_flight.values():
+            phases = len(execution.plan)
+            lines.append(
+                f"  chunk {execution.label}: waiting in phase "
+                f"{execution.current_min_phase + 1}/{phases}, "
+                f"nodes per phase {execution._nodes_in_phase[:-1]}"
+            )
+        return "\n".join(lines)

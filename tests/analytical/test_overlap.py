@@ -4,7 +4,6 @@ direction with the simulated Fig. 18 sweep."""
 import pytest
 
 from repro.analytical.overlap import (
-    OverlapEstimate,
     compute_scale_sweep,
     estimate_overlap,
 )

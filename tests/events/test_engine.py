@@ -206,3 +206,71 @@ class TestCountdownBarrier:
         assert barrier.remaining == 1
         barrier.arrive()
         assert barrier.done
+
+
+class TestPendingCount:
+    """``pending`` counts live events only; cancelled ones are excluded."""
+
+    def test_pending_excludes_cancelled(self):
+        q = EventQueue()
+        handles = [q.schedule_at(float(i + 1), lambda: None) for i in range(4)]
+        assert q.pending == 4
+        handles[1].cancel()
+        handles[2].cancel()
+        assert q.pending == 2
+        assert q.heap_size == 4  # lazily-cancelled entries stay in the heap
+
+    def test_cancel_idempotence_counts_once(self):
+        q = EventQueue()
+        h = q.schedule_at(1.0, lambda: None)
+        h.cancel()
+        h.cancel()
+        assert q.pending == 0
+        assert q.heap_size == 1
+
+    def test_pending_after_discarding_cancelled(self):
+        q = EventQueue()
+        live = []
+        h = q.schedule_at(1.0, lambda: live.append("no"))
+        q.schedule_at(2.0, lambda: live.append("yes"))
+        h.cancel()
+        q.run()
+        assert live == ["yes"]
+        assert q.pending == 0
+        assert q.heap_size == 0
+
+    def test_pending_partial_drain(self):
+        q = EventQueue()
+        h = q.schedule_at(1.0, lambda: None)
+        q.schedule_at(2.0, lambda: None)
+        q.schedule_at(3.0, lambda: None)
+        h.cancel()
+        q.run(until=2.0)
+        assert q.pending == 1
+
+
+class TestResetDeterminism:
+    """``reset`` restores the queue to a fresh-construction state."""
+
+    def test_reset_restarts_sequence_numbers(self):
+        def trace(q):
+            order = []
+            for name in ("a", "b", "c"):
+                q.schedule_at(1.0, lambda name=name: order.append(name))
+            q.run()
+            return order
+
+        q = EventQueue()
+        first = trace(q)
+        q.reset()
+        second = trace(q)
+        assert first == second == ["a", "b", "c"]
+
+    def test_reset_clears_cancelled_count(self):
+        q = EventQueue()
+        q.schedule_at(1.0, lambda: None).cancel()
+        q.reset()
+        assert q.pending == 0
+        assert q.heap_size == 0
+        q.schedule_at(1.0, lambda: None)
+        assert q.pending == 1

@@ -1,12 +1,8 @@
 """Tests for the shared experiment runners and the cheap figure harnesses."""
 
-import pytest
-
 from repro.collectives import CollectiveOp
 from repro.config import (
     AllToAllShape,
-    CollectiveAlgorithm,
-    SchedulingPolicy,
     TorusShape,
 )
 from repro.config.units import KB, MB

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ReproError
-from repro.harness.sweep import SweepResult, sweep
+from repro.harness.sweep import sweep
 
 
 class TestSweep:

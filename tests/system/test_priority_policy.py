@@ -1,7 +1,5 @@
 """Tests for the Sec. III-E first-layer priority scheduling extension."""
 
-import pytest
-
 from repro.collectives import CollectiveOp
 from repro.config import (
     SchedulingPolicy,

@@ -12,7 +12,6 @@ from repro.config import (
 )
 from repro.config.units import KB, MB
 from repro.dims import Dimension
-from repro.errors import SimulationError
 from repro.system import System
 from repro.topology import build_torus_topology
 

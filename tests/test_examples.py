@@ -5,7 +5,6 @@ exercised at reduced scale elsewhere; here we execute the fast examples
 outright and import-check the rest.
 """
 
-import importlib.util
 import pathlib
 import subprocess
 import sys

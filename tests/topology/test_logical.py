@@ -11,7 +11,6 @@ from repro.config import (
 from repro.dims import Dimension
 from repro.errors import TopologyError
 from repro.topology import (
-    LogicalTopology,
     build_alltoall_topology,
     build_torus_topology,
 )

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import LinkConfig, NetworkConfig, TorusShape, paper_network_config
+from repro.config import TorusShape, paper_network_config
 from repro.collectives import CollectiveContext, RingAllReduce
 from repro.dims import Dimension
 from repro.errors import TopologyError

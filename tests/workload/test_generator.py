@@ -4,10 +4,8 @@ import pytest
 
 from repro.errors import WorkloadError
 from repro.workload import (
-    DATA_PARALLEL,
     MODEL_PARALLEL,
     GeneratorSpec,
-    TrainingPhase,
     synthetic_model,
 )
 
