@@ -1,0 +1,64 @@
+"""Ablation — reliable-transport overhead on a healthy network.
+
+The transport's contract is that wrapping a backend changes *nothing*
+on a healthy run: the default timeouts are generous enough that no
+delivery timer fires before its message arrives, so the simulated
+cycle count must match the bare backend exactly, and the only cost is
+the wall-clock bookkeeping of arming/cancelling one timer per message.
+This bench times the same all-reduce with the transport off and on,
+checks cycle-identity and a silent stats record, and reports the
+wall-clock ratio.
+"""
+
+import time
+from dataclasses import replace
+
+from repro.collectives import CollectiveOp
+from repro.config import TorusShape
+from repro.config.parameters import TransportConfig
+from repro.config.units import MB
+from repro.harness.runners import run_collective, torus_platform
+
+from bench_common import print_table, run_once
+
+
+def time_run(transport: bool):
+    spec = torus_platform(TorusShape(2, 4, 4))
+    if transport:
+        spec.config = replace(
+            spec.config,
+            system=replace(spec.config.system, transport=TransportConfig()))
+    start = time.perf_counter()
+    result = run_collective(spec, CollectiveOp.ALL_REDUCE, 4 * MB)
+    elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+def run_sweep():
+    bare, wall_off = time_run(transport=False)
+    wrapped, wall_on = time_run(transport=True)
+    return [{
+        "transport": "off", "sim cycles": bare.duration_cycles,
+        "wall s": wall_off,
+    }, {
+        "transport": "on", "sim cycles": wrapped.duration_cycles,
+        "wall s": wall_on,
+        "messages": wrapped.transport_stats.messages,
+        "retries": wrapped.transport_stats.retries,
+        "overhead x": wall_on / wall_off if wall_off else float("nan"),
+    }]
+
+
+def test_transport_overhead(benchmark):
+    rows = run_once(benchmark, run_sweep)
+    print_table("Ablation: reliable-transport overhead (no faults)", rows)
+
+    assert rows[0]["sim cycles"] == rows[1]["sim cycles"], (
+        "on a healthy network the transport must not move a single cycle")
+    assert rows[1]["retries"] == 0, (
+        "no delivery timer may fire before its message on a healthy run")
+    assert rows[1]["messages"] > 0
+    # Wall-clock bound is deliberately loose (shared CI machines): the
+    # wrapper adds one timer arm/cancel per message, nothing per flit.
+    assert rows[1]["wall s"] < rows[0]["wall s"] * 5.0, (
+        "transport overhead should be a small constant factor")

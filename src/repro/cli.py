@@ -70,7 +70,7 @@ def _build_platform(args: argparse.Namespace):
     if topology is TopologyKind.TORUS:
         if len(dims) != 3:
             raise ConfigError("Torus shapes are MxNxK, e.g. 2x4x4")
-        return torus_platform(
+        spec = torus_platform(
             TorusShape(*dims),
             algorithm=algorithm,
             scheduling_policy=policy,
@@ -81,16 +81,46 @@ def _build_platform(args: argparse.Namespace):
             compute_scale=args.compute_scale,
             preferred_set_splits=args.preferred_set_splits,
         )
-    if len(dims) != 2:
-        raise ConfigError("AllToAll shapes are MxN, e.g. 4x16")
-    return alltoall_platform(
-        AllToAllShape(*dims),
-        algorithm=algorithm,
-        symmetric=args.symmetric,
-        local_rings=args.local_rings,
-        global_switches=args.global_switches,
-        preferred_set_splits=args.preferred_set_splits,
-    )
+    else:
+        if len(dims) != 2:
+            raise ConfigError("AllToAll shapes are MxN, e.g. 4x16")
+        spec = alltoall_platform(
+            AllToAllShape(*dims),
+            algorithm=algorithm,
+            symmetric=args.symmetric,
+            local_rings=args.local_rings,
+            global_switches=args.global_switches,
+            preferred_set_splits=args.preferred_set_splits,
+        )
+    return _apply_fault_args(spec, args)
+
+
+def _apply_fault_args(spec, args: argparse.Namespace):
+    """Attach --fault-schedule / --transport to a platform spec.
+
+    A fault schedule implies the reliable transport (an unprotected run
+    would deadlock on the first dropped message).
+    """
+    if getattr(args, "fault_schedule", None):
+        from repro.network.fault_schedule import FaultSchedule
+
+        spec.fault_schedule = FaultSchedule.from_file(args.fault_schedule)
+    if (getattr(args, "transport", False) or spec.fault_schedule is not None) \
+            and spec.config.system.transport is None:
+        from dataclasses import replace
+
+        from repro.config.parameters import TransportConfig
+
+        spec.config = replace(
+            spec.config,
+            system=replace(spec.config.system, transport=TransportConfig()),
+        )
+    return spec
+
+
+def _print_transport_stats(stats) -> None:
+    if stats is not None:
+        print(stats.summary())
 
 
 def _add_platform_args(p: argparse.ArgumentParser) -> None:
@@ -115,6 +145,13 @@ def _add_platform_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--sanitize", action="store_true",
                    help="enable the runtime invariant sanitizer (time-travel, "
                         "livelock, flit/credit conservation, barrier checks)")
+    p.add_argument("--fault-schedule", default=None, metavar="PATH",
+                   help="JSON fault schedule injecting timed link/node "
+                        "failures mid-run (docs/FAULTS.md); implies "
+                        "--transport")
+    p.add_argument("--transport", action="store_true",
+                   help="wrap the network in the reliable transport "
+                        "(timeouts, retransmission with backoff)")
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
@@ -126,6 +163,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
     report, system = run_training(model, platform, num_iterations=args.num_passes,
                                   sanitize=args.sanitize)
     print(RunSummary.from_report(report).format())
+    _print_transport_stats(system.transport_stats())
     if args.layer_table:
         print()
         print(format_layer_table(report))
@@ -141,6 +179,7 @@ def _cmd_collective(args: argparse.Namespace) -> int:
                             sanitize=args.sanitize)
     print(f"{args.op} of {args.size_mb} MB on {result.label} "
           f"({result.num_npus} NPUs): {result.duration_cycles:,.0f} cycles")
+    _print_transport_stats(result.transport_stats)
     if args.breakdown:
         print()
         print(format_breakdown(result.breakdown))

@@ -84,6 +84,11 @@ class CollectiveContext:
         """Local-reduction delay for ``size_bytes`` of received data."""
         return self.reduction_cycles_per_kb * size_bytes / 1024.0
 
+    @property
+    def reliable(self) -> bool:
+        """Whether the backend reports delivery failures (reliable transport)."""
+        return getattr(self.backend, "supports_failure_callback", False)
+
     def send(
         self,
         src: int,
@@ -93,8 +98,16 @@ class CollectiveContext:
         tag: object,
         on_delivered: Callable[[Message], None],
         phase_index: int = 0,
+        on_failed: Optional[Callable] = None,
     ) -> Message:
-        """Inject one message and record its timing under ``phase_index``."""
+        """Inject one message and record its timing under ``phase_index``.
+
+        ``on_failed`` receives a :class:`repro.system.transport.TransportFailure`
+        when the reliable transport exhausts its retry budget; it is only
+        honored when the backend supports failure reporting (a raw backend
+        never reports loss — an undeliverable message simply deadlocks the
+        run, surfaced by the wait-for summary).
+        """
         message = Message(src=src, dst=dst, size_bytes=size_bytes, tag=tag)
 
         def delivered(msg: Message) -> None:
@@ -102,5 +115,8 @@ class CollectiveContext:
                 self.stats_sink(phase_index, msg)
             on_delivered(msg)
 
-        self.backend.send(message, path, delivered)
+        if on_failed is not None and self.reliable:
+            self.backend.send(message, path, delivered, on_failed=on_failed)
+        else:
+            self.backend.send(message, path, delivered)
         return message

@@ -30,7 +30,44 @@ from repro.network.channel import RingChannel
 from repro.network.message import Message
 
 
-class RingReduceScatter(CollectiveAlgorithmBase):
+class _ResilientRingMixin:
+    """Reroute-or-fail-fast policy shared by the ring algorithms.
+
+    Only active under the reliable transport (``ctx.send`` drops the
+    ``on_failed`` callback otherwise): when the retry budget for a message
+    is exhausted — a permanently dead link — the algorithm reroutes every
+    subsequent message over the counter-rotating companion ring
+    (``ring.reverse_channel``, same logical neighbors, opposite physical
+    direction) when the fabric provides one.  A failure on the surviving
+    direction too, or a ring with no reverse, fails fast with a
+    diagnostic naming the dead link and the ranks that never finished.
+    """
+
+    #: Once True, all sends route over ``ring.reverse_channel``.
+    _rerouted = False
+
+    def _route(self, src: int, dst: int):
+        channel = self.ring.reverse_channel if self._rerouted else self.ring
+        return channel.path(src, dst)
+
+    def _on_send_failed(self, failure, via_reverse: bool, resend) -> None:
+        if not via_reverse and self.ring.reverse_channel is not None:
+            self._rerouted = True
+            resend()
+            return
+        self._fail_fast(failure)
+
+    def _fail_fast(self, failure) -> None:
+        stuck = sorted(set(self.nodes) - self._done)
+        direction = "surviving ring direction" if self._rerouted else "ring"
+        raise CollectiveError(
+            f"collective {self.label or type(self).__name__} cannot make "
+            f"progress on the {direction}: {failure.describe()}; "
+            f"stuck ranks: {stuck}"
+        )
+
+
+class RingReduceScatter(_ResilientRingMixin, CollectiveAlgorithmBase):
     """Ring reduce-scatter: after N-1 steps each node holds one globally
     reduced segment of size ``size_bytes / n``."""
 
@@ -51,12 +88,15 @@ class RingReduceScatter(CollectiveAlgorithmBase):
 
     def _send_step(self, node: int, step: int) -> None:
         nxt = self.ring.next_node(node)
+        via_reverse = self._rerouted
         self.ctx.send(
             node, nxt, self.message_bytes,
-            path=self.ring.path(node, nxt),
+            path=self._route(node, nxt),
             tag=(self.label, step),
             on_delivered=lambda msg, s=step: self._deliver(msg.dst, s),
             phase_index=self.phase_index,
+            on_failed=lambda failure: self._on_send_failed(
+                failure, via_reverse, lambda: self._send_step(node, step)),
         )
 
     def _on_join(self, node: int) -> None:
@@ -73,7 +113,7 @@ class RingReduceScatter(CollectiveAlgorithmBase):
             self._mark_done(node)
 
 
-class RingAllGather(CollectiveAlgorithmBase):
+class RingAllGather(_ResilientRingMixin, CollectiveAlgorithmBase):
     """Ring all-gather: each node starts with ``size_bytes / n`` and relays
     until it holds all ``size_bytes``.  No reduction delay."""
 
@@ -94,12 +134,15 @@ class RingAllGather(CollectiveAlgorithmBase):
 
     def _send_step(self, node: int, step: int) -> None:
         nxt = self.ring.next_node(node)
+        via_reverse = self._rerouted
         self.ctx.send(
             node, nxt, self.message_bytes,
-            path=self.ring.path(node, nxt),
+            path=self._route(node, nxt),
             tag=(self.label, step),
             on_delivered=lambda msg, s=step: self._deliver(msg.dst, s),
             phase_index=self.phase_index,
+            on_failed=lambda failure: self._on_send_failed(
+                failure, via_reverse, lambda: self._send_step(node, step)),
         )
 
     def _on_join(self, node: int) -> None:
@@ -181,7 +224,7 @@ class _A2AReceive:
     origin: int
 
 
-class RingAllToAll(CollectiveAlgorithmBase):
+class RingAllToAll(_ResilientRingMixin, CollectiveAlgorithmBase):
     """Ring all-to-all: N-1 rounds, round *i* sending ``size/n`` to the node
     at downstream distance *i* (Sec. III-B).
 
@@ -220,24 +263,43 @@ class RingAllToAll(CollectiveAlgorithmBase):
             # the final round is on the wire.
             self.ctx.after(0.0, lambda: self._maybe_done(node))
         if self.ctx.packet_routing is PacketRouting.HARDWARE:
-            path = self.ring.path(node, final_dst)
+            via_reverse = self._rerouted
             self.ctx.send(
-                node, final_dst, self.message_bytes, path,
+                node, final_dst, self.message_bytes, self._route(node, final_dst),
                 tag=(self.label, node, final_dst),
                 on_delivered=lambda msg: self._on_hop(msg, node, final_dst, round_index),
                 phase_index=self.phase_index,
+                on_failed=lambda failure: self._on_send_failed(
+                    failure, via_reverse,
+                    lambda: self._resend_direct(node, final_dst, round_index)),
             )
         else:
             self._send_hop(node, node, final_dst, round_index)
 
+    def _resend_direct(self, node: int, final_dst: int, round_index: int) -> None:
+        via_reverse = self._rerouted
+        self.ctx.send(
+            node, final_dst, self.message_bytes, self._route(node, final_dst),
+            tag=(self.label, node, final_dst),
+            on_delivered=lambda msg: self._on_hop(msg, node, final_dst, round_index),
+            phase_index=self.phase_index,
+            on_failed=lambda failure: self._on_send_failed(
+                failure, via_reverse,
+                lambda: self._resend_direct(node, final_dst, round_index)),
+        )
+
     def _send_hop(self, current: int, origin: int, final_dst: int, round_index: int) -> None:
         nxt = self.ring.next_node(current)
+        via_reverse = self._rerouted
         self.ctx.send(
             current, nxt, self.message_bytes,
-            path=self.ring.path(current, nxt),
+            path=self._route(current, nxt),
             tag=(self.label, origin, final_dst),
             on_delivered=lambda msg: self._on_hop(msg, origin, final_dst, round_index),
             phase_index=self.phase_index,
+            on_failed=lambda failure: self._on_send_failed(
+                failure, via_reverse,
+                lambda: self._send_hop(current, origin, final_dst, round_index)),
         )
 
     def _on_hop(self, message: Message, origin: int, final_dst: int, round_index: int) -> None:

@@ -21,6 +21,7 @@ from repro.config.parameters import (
     SimulationConfig,
     SystemConfig,
     TopologyKind,
+    TransportConfig,
 )
 from repro.config.units import Clock
 from repro.errors import ConfigError
@@ -57,6 +58,8 @@ def config_from_dict(data: dict[str, Any]) -> SimulationConfig:
         system_data = dict(data["system"])
         for key, enum_cls in _ENUMS.items():
             system_data[key] = enum_cls(system_data[key])
+        if system_data.get("transport") is not None:
+            system_data["transport"] = TransportConfig(**system_data["transport"])
         system = SystemConfig(**system_data)
 
         network = None

@@ -216,6 +216,44 @@ class AllToAllShape:
 
 
 @dataclass(frozen=True)
+class TransportConfig:
+    """Reliable-transport knobs (see :mod:`repro.system.transport`).
+
+    Per-message delivery timeout is ``timeout_cycles + timeout_per_byte *
+    size_bytes``; retransmission backs off exponentially with seeded
+    jitter.  Defaults are deliberately generous so that on a healthy
+    network no timer ever fires before delivery and the simulated cycle
+    counts are identical to a run without transport (asserted by
+    ``benchmarks/bench_transport_overhead.py``).
+    """
+
+    timeout_cycles: float = 50_000.0
+    timeout_per_byte: float = 4.0
+    max_retries: int = 6
+    backoff_base_cycles: float = 1_000.0
+    backoff_factor: float = 2.0
+    backoff_max_cycles: float = 200_000.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.timeout_cycles <= 0:
+            raise ConfigError(f"timeout_cycles must be positive: {self.timeout_cycles}")
+        if self.timeout_per_byte < 0:
+            raise ConfigError(f"timeout_per_byte must be >= 0: {self.timeout_per_byte}")
+        if self.max_retries < 0:
+            raise ConfigError(f"max_retries must be >= 0: {self.max_retries}")
+        if self.backoff_base_cycles < 0:
+            raise ConfigError("backoff_base_cycles must be >= 0")
+        if self.backoff_factor < 1:
+            raise ConfigError(f"backoff_factor must be >= 1: {self.backoff_factor}")
+        if self.backoff_max_cycles < self.backoff_base_cycles:
+            raise ConfigError("backoff_max_cycles must be >= backoff_base_cycles")
+        if not 0 <= self.jitter <= 1:
+            raise ConfigError(f"jitter must be in [0, 1]: {self.jitter}")
+
+
+@dataclass(frozen=True)
 class SystemConfig:
     """System-layer parameters (Table III #3-#16)."""
 
@@ -237,6 +275,9 @@ class SystemConfig:
     dispatch_batch: int = 16
     #: Average cycles to reduce 1 KB of received data (Fig. 8 "local update").
     reduction_cycles_per_kb: float = 1.0
+    #: Reliable transport (timeouts/retries); ``None`` sends raw —
+    #: required for surviving fault schedules (docs/FAULTS.md).
+    transport: Optional[TransportConfig] = None
 
     def __post_init__(self) -> None:
         for name in ("local_rings", "vertical_rings", "horizontal_rings", "global_switches"):

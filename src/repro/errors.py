@@ -24,6 +24,10 @@ class NetworkError(ReproError):
     """A network-layer failure (unroutable message, bad endpoint, ...)."""
 
 
+class TransportError(NetworkError):
+    """Reliable transport gave up on a message (retry budget exhausted)."""
+
+
 class CollectiveError(ReproError):
     """An invalid collective request or a broken collective state machine."""
 

@@ -35,6 +35,7 @@ class _ScheduledEvent:
     seq: int
     callback: EventCallback = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    fired: bool = field(default=False, compare=False)
 
 
 class EventHandle:
@@ -55,9 +56,20 @@ class EventHandle:
     def cancelled(self) -> bool:
         return self._event.cancelled
 
+    @property
+    def fired(self) -> bool:
+        """Whether the event has already executed."""
+        return self._event.fired
+
     def cancel(self) -> None:
-        """Prevent the event from firing.  Idempotent; lazy removal."""
-        if not self._event.cancelled:
+        """Prevent the event from firing.  Idempotent; lazy removal.
+
+        Cancelling an event that already fired is a no-op: the event is no
+        longer in the heap, so counting it as cancelled-in-heap would skew
+        :attr:`EventQueue.pending` permanently (the transport layer cancels
+        delivery timers that may have just fired).
+        """
+        if not self._event.cancelled and not self._event.fired:
             self._event.cancelled = True
             self._queue._cancelled_in_heap += 1
 
@@ -123,6 +135,13 @@ class EventQueue:
 
         Returns ``True`` if an event was executed, ``False`` if the queue
         was empty (or contained only cancelled events).
+
+        Events scheduled *at* the current time from within a handler are
+        pushed with a fresh FIFO sequence number and therefore execute in
+        the same drain pass, after everything already scheduled for that
+        timestamp — a fault-schedule flip (e.g. ``link_down``) racing an
+        in-flight send at the same cycle resolves in schedule order,
+        deterministically.
         """
         while self._heap:
             event = heapq.heappop(self._heap)
@@ -131,6 +150,7 @@ class EventQueue:
                 continue
             self._now = event.time
             self._events_processed += 1
+            event.fired = True
             event.callback()
             return True
         return False
@@ -138,7 +158,8 @@ class EventQueue:
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run until the queue drains, ``until`` is reached, or ``max_events``.
 
-        ``until`` is an inclusive horizon: events at exactly ``until`` fire.
+        ``until`` is an inclusive horizon: events at exactly ``until`` fire,
+        including events a handler schedules at ``until`` while it runs.
         ``max_events`` guards against runaway simulations.
         """
         if self._running:
@@ -153,7 +174,8 @@ class EventQueue:
                     self._cancelled_in_heap -= 1
                     continue
                 if until is not None and head.time > until:
-                    self._now = until
+                    # Never rewind: run(until=past) must not move time back.
+                    self._now = max(self._now, until)
                     return
                 if max_events is not None and executed >= max_events:
                     raise SimulationError(

@@ -57,6 +57,9 @@ class CollectiveResult:
     duration_cycles: float
     breakdown: DelayBreakdown
     num_npus: int
+    #: repro.system.transport.TransportStats when the run used the
+    #: reliable transport; None otherwise.
+    transport_stats: Optional[object] = None
 
 
 @dataclass
@@ -66,17 +69,22 @@ class PlatformSpec:
     name: str
     topology_builder: Callable[[SystemConfig], LogicalTopology]
     config: SimulationConfig
+    #: Optional repro.network.fault_schedule.FaultSchedule installed into
+    #: every system built from this spec.
+    fault_schedule: Optional[object] = None
 
     def build_system(self, sanitize: bool = False) -> System:
         """Build the system; ``sanitize=True`` attaches a fresh
         :class:`repro.sanitize.runtime.RuntimeSanitizer` (runtime invariant
         checking at a small instrumentation cost)."""
         topology = self.topology_builder(self.config.system)
+        sanitizer = None
         if sanitize:
             from repro.sanitize.runtime import RuntimeSanitizer
 
-            return System(topology, self.config, sanitizer=RuntimeSanitizer())
-        return System(topology, self.config)
+            sanitizer = RuntimeSanitizer()
+        return System(topology, self.config, sanitizer=sanitizer,
+                      fault_schedule=self.fault_schedule)
 
 
 def torus_platform(
@@ -178,6 +186,7 @@ def run_collective(
         duration_cycles=collective.duration_cycles,
         breakdown=system.breakdown,
         num_npus=system.topology.num_npus,
+        transport_stats=system.transport_stats(),
     )
 
 

@@ -1,8 +1,19 @@
 """Network layer: links, channels, physical fabrics, and two backends."""
 
 from repro.network.api import DeliveryCallback, NetworkBackend, validate_path
-from repro.network.channel import Channel, RingChannel, SwitchChannel
+from repro.network.channel import (
+    Channel,
+    RingChannel,
+    SwitchChannel,
+    pair_reverse_rings,
+)
 from repro.network.fast_backend import FastBackend
+from repro.network.fault_schedule import (
+    FaultAction,
+    FaultEvent,
+    FaultSchedule,
+    FaultState,
+)
 from repro.network.link import Link, LinkStats
 from repro.network.message import Message, num_packets, packetize
 
@@ -10,6 +21,10 @@ __all__ = [
     "Channel",
     "DeliveryCallback",
     "FastBackend",
+    "FaultAction",
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultState",
     "Link",
     "LinkStats",
     "Message",
@@ -18,5 +33,6 @@ __all__ = [
     "SwitchChannel",
     "num_packets",
     "packetize",
+    "pair_reverse_rings",
     "validate_path",
 ]

@@ -34,6 +34,11 @@ class NetworkBackend(abc.ABC):
         self.sanitizer = sanitizer
         self.messages_delivered = 0
         self.bytes_delivered = 0.0
+        #: Live fault state (see :mod:`repro.network.fault_schedule`); when
+        #: set, both backends consult it at injection time and silently drop
+        #: doomed messages.  ``None`` keeps the healthy path unchanged.
+        self.faults = None
+        self.messages_dropped = 0
 
     @property
     def now(self) -> float:
@@ -55,6 +60,27 @@ class NetworkBackend(abc.ABC):
     def _record_send(self, message: Message) -> None:
         if self.sanitizer is not None:
             self.sanitizer.conservation.message_sent(message)
+
+    def _drop_if_faulty(self, message: Message, path: list[Link]) -> bool:
+        """Apply the installed fault state at injection time.
+
+        Returns ``True`` when the message is lost (down link, paused
+        endpoint, or probabilistic drop): the backend must then inject
+        nothing — recovery is the reliable transport's job.  Call after
+        :meth:`_record_send` so conservation balances as
+        ``sent == delivered + dropped``.
+        """
+        if self.faults is None:
+            return False
+        reason = self.faults.drop_reason(message, path)
+        if reason is None:
+            return False
+        self.faults.record_drop(reason)
+        self.messages_dropped += 1
+        message.drop_reason = reason
+        if self.sanitizer is not None:
+            self.sanitizer.conservation.message_dropped(message)
+        return True
 
     def _record_delivery(self, message: Message) -> None:
         self.messages_delivered += 1

@@ -43,6 +43,10 @@ class RingChannel:
         self.links = list(links)
         self.name = name
         self._index = {node: i for i, node in enumerate(self.nodes)}
+        #: A counter-rotating ring over the same nodes, when the fabric
+        #: provides one (see :func:`pair_reverse_rings`).  Ring collectives
+        #: use it to reroute around a permanently dead link.
+        self.reverse_channel: "RingChannel | None" = None
 
     @property
     def size(self) -> int:
@@ -78,6 +82,30 @@ class RingChannel:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RingChannel({self.name}, nodes={self.nodes})"
+
+
+def pair_reverse_rings(forward: RingChannel, backward: RingChannel) -> None:
+    """Mark two rings as each other's counter-rotating direction.
+
+    The rings must traverse the same node set in opposite orders; each
+    becomes the other's ``reverse_channel`` (the surviving direction a
+    collective can reroute over when one direction's link dies).
+    """
+    n = forward.size
+    if set(forward.nodes) != set(backward.nodes):
+        raise TopologyError(
+            f"cannot pair rings over different node sets: "
+            f"{forward.nodes} vs {backward.nodes}"
+        )
+    start = backward.position(forward.nodes[0])
+    expected = [backward.nodes[(start - k) % n] for k in range(n)]
+    if expected != forward.nodes:
+        raise TopologyError(
+            f"rings {forward.name!r} and {backward.name!r} do not "
+            f"counter-rotate: {forward.nodes} vs {backward.nodes}"
+        )
+    forward.reverse_channel = backward
+    backward.reverse_channel = forward
 
 
 class SwitchChannel:

@@ -48,6 +48,9 @@ class DetailedBackend(NetworkBackend):
         validate_path(message, path)
         self._record_send(message)
         message.created_at = self.now
+        # Drop before any flit is built so the flit ledgers stay balanced.
+        if self._drop_if_faulty(message, path):
+            return
 
         packet_bytes = min(link.config.packet_size_bytes for link in path)
         flit_bytes = self.network.flit_width_bytes

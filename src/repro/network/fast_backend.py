@@ -32,6 +32,8 @@ class FastBackend(NetworkBackend):
         validate_path(message, path)
         self._record_send(message)
         message.created_at = self.now
+        if self._drop_if_faulty(message, path):
+            return
 
         # Reserve each hop in order; hop k may begin once the head of the
         # message has arrived at its input (packet-pipelined forwarding).

@@ -36,9 +36,10 @@ def degrade_link(link: Link, bandwidth_factor: float = 1.0,
 def degrade_random_links(
     fabric: Fabric,
     count: int,
-    bandwidth_factor: float,
+    bandwidth_factor: float = 1.0,
     seed: int = 0,
     kind: str | None = None,
+    extra_latency_cycles: float = 0.0,
 ) -> list[Link]:
     """Degrade ``count`` deterministic-randomly chosen links of ``fabric``
     (optionally restricted to one link kind).  Returns the victims."""
@@ -52,7 +53,8 @@ def degrade_random_links(
     rng = random.Random(seed)
     victims = rng.sample(candidates, count)
     for link in victims:
-        degrade_link(link, bandwidth_factor=bandwidth_factor)
+        degrade_link(link, bandwidth_factor=bandwidth_factor,
+                     extra_latency_cycles=extra_latency_cycles)
     return victims
 
 

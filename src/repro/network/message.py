@@ -37,6 +37,10 @@ class Message:
     injected_at: float = 0.0
     delivered_at: float = 0.0
 
+    # Why the fault layer dropped this message at injection; None when it
+    # was (or will be) delivered normally.
+    drop_reason: str | None = None
+
     def __post_init__(self) -> None:
         if self.size_bytes < 0:
             raise NetworkError(f"message size must be >= 0: {self.size_bytes}")

@@ -71,6 +71,7 @@ class AllToAllFabric(Fabric):
                     )
                     for r in range(self.local_rings)
                 ]
+                self._pair_ring_directions(rings)
                 self._add_channels(Dimension.LOCAL, (p,), rings)
 
         # Global switches attach to every NPU.  The alltoall dimension's

@@ -12,7 +12,7 @@ from typing import Iterable
 from repro.config.parameters import LinkConfig, NetworkConfig
 from repro.config.units import Clock, DEFAULT_CLOCK
 from repro.errors import TopologyError
-from repro.network.channel import Channel, RingChannel, SwitchChannel
+from repro.network.channel import Channel, RingChannel, SwitchChannel, pair_reverse_rings
 from repro.network.link import Link
 from repro.dims import Dimension
 
@@ -71,6 +71,17 @@ class Fabric:
         self, dim: Dimension, group: GroupKey, channels: Iterable[Channel]
     ) -> None:
         self.channels.setdefault(dim, {}).setdefault(group, []).extend(channels)
+
+    def _pair_ring_directions(self, rings: list[RingChannel]) -> None:
+        """Pair consecutive counter-rotating rings as reroute companions.
+
+        All builders emit alternating-direction rings back to back (cw/ccw
+        pairs, or ``reverse=bool(r % 2)``), so rings ``2i`` and ``2i+1``
+        cover the same nodes in opposite orders.  A trailing unpaired ring
+        (odd ring count) keeps ``reverse_channel = None``.
+        """
+        for i in range(0, len(rings) - 1, 2):
+            pair_reverse_rings(rings[i], rings[i + 1])
 
     # -- queries ---------------------------------------------------------------
 

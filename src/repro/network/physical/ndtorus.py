@@ -131,6 +131,7 @@ class NDTorusFabric(Fabric):
                             nodes, spec.link, spec.kind,
                             name=f"{spec.dim}{group}#{r}",
                             reverse=bool(r % 2)))
+                self._pair_ring_directions(rings)
                 self._add_channels(spec.dim, group, rings)
         if not self.channels:
             raise TopologyError("degenerate torus: every dimension has size 1")

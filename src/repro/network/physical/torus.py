@@ -77,6 +77,7 @@ class TorusFabric(Fabric):
                         )
                         for r in range(self.local_rings)
                     ]
+                    self._pair_ring_directions(rings)
                     self._add_channels(Dimension.LOCAL, (h, v), rings)
 
         # Horizontal dimension: bidirectional rings over packages with the
@@ -93,6 +94,7 @@ class TorusFabric(Fabric):
                         rings.append(self._build_ring(
                             nodes, net.package_link, "package",
                             name=f"horizontal(l={l},v={v})#{r}ccw", reverse=True))
+                    self._pair_ring_directions(rings)
                     self._add_channels(Dimension.HORIZONTAL, (l, v), rings)
 
         # Vertical dimension: same construction over (local, horizontal).
@@ -108,6 +110,7 @@ class TorusFabric(Fabric):
                         rings.append(self._build_ring(
                             nodes, net.package_link, "package",
                             name=f"vertical(l={l},h={h})#{r}ccw", reverse=True))
+                    self._pair_ring_directions(rings)
                     self._add_channels(Dimension.VERTICAL, (h, l), rings)
 
         if not self.channels:

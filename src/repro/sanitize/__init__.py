@@ -22,6 +22,7 @@ from repro.sanitize.runtime import (
 )
 from repro.sanitize.static_lint import (
     lint_config,
+    lint_fault_schedule,
     lint_platform,
     lint_presets,
     lint_run_spec,
@@ -37,6 +38,7 @@ __all__ = [
     "SanitizedEventQueue",
     "SanitizerConfig",
     "lint_config",
+    "lint_fault_schedule",
     "lint_platform",
     "lint_presets",
     "lint_run_spec",

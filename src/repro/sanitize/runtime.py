@@ -98,6 +98,7 @@ class SanitizedEventQueue(EventQueue):
                 self._same_time_run = 0
             self._now = event.time
             self._events_processed += 1
+            event.fired = True
             event.callback()
             return True
         return False
@@ -122,9 +123,12 @@ class ConservationChecker:
     """
 
     def __init__(self) -> None:
-        #: messages sent/delivered (both backends).
+        #: messages sent/delivered/dropped (both backends).  Drops are
+        #: deliberate fault-layer losses; conservation balances as
+        #: ``sent == delivered + dropped``.
         self.messages_sent = 0
         self.messages_delivered = 0
+        self.messages_dropped = 0
         #: id(message) -> flit ledger; balanced entries are dropped eagerly
         #: so the ledger only holds in-flight messages.
         self._flit_ledgers: dict[int, _MessageLedger] = {}
@@ -140,6 +144,9 @@ class ConservationChecker:
 
     def message_delivered(self, message: "Message") -> None:
         self.messages_delivered += 1
+
+    def message_dropped(self, message: "Message") -> None:
+        self.messages_dropped += 1
 
     # -- detailed-backend flit balance -----------------------------------------
 
@@ -201,11 +208,12 @@ class ConservationChecker:
 
     def quiescence_findings(self) -> list[Finding]:
         findings: list[Finding] = []
-        if self.messages_sent != self.messages_delivered:
+        if self.messages_sent != self.messages_delivered + self.messages_dropped:
             findings.append(Finding(
                 Severity.ERROR, "message-leak", "network",
                 f"{self.messages_sent} messages sent but "
-                f"{self.messages_delivered} delivered",
+                f"{self.messages_delivered} delivered and "
+                f"{self.messages_dropped} dropped by faults",
                 source="runtime",
             ))
         for ledger in self._flit_ledgers.values():

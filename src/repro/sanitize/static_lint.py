@@ -39,7 +39,8 @@ from repro.errors import ConfigError, ReproError
 from repro.sanitize.findings import Finding, LintReport, Severity
 
 #: Top-level keys a run-spec JSON document may carry.
-RUN_SPEC_KEYS = {"config", "topology", "expected_npus", "faults"}
+RUN_SPEC_KEYS = {"config", "topology", "expected_npus", "faults",
+                 "fault_schedule"}
 
 #: Keys of the ``topology`` section of a run spec.
 TOPOLOGY_KEYS = {"kind", "shape"}
@@ -81,6 +82,15 @@ _SYSTEM_RULES = {
     "dispatch_threshold": ("must be >= 1", lambda v: v >= 1),
     "dispatch_batch": ("must be >= 1", lambda v: v >= 1),
     "reduction_cycles_per_kb": _NON_NEGATIVE,
+}
+_TRANSPORT_RULES = {
+    "timeout_cycles": _POSITIVE,
+    "timeout_per_byte": _NON_NEGATIVE,
+    "max_retries": _NON_NEGATIVE,
+    "backoff_base_cycles": _NON_NEGATIVE,
+    "backoff_factor": ("must be >= 1", lambda v: v >= 1),
+    "backoff_max_cycles": _NON_NEGATIVE,
+    "jitter": ("must be in [0, 1]", lambda v: 0 <= v <= 1),
 }
 
 
@@ -233,6 +243,25 @@ def lint_config_dict(
     system_data = data.get("system")
     if isinstance(system_data, dict):
         _check_rules(report, system_data, _SYSTEM_RULES, "system")
+        transport_data = system_data.get("transport")
+        if isinstance(transport_data, dict):
+            from repro.config.parameters import TransportConfig
+
+            _check_unknown_keys(report, transport_data,
+                                _known_fields(TransportConfig),
+                                "system.transport")
+            _check_rules(report, transport_data, _TRANSPORT_RULES,
+                         "system.transport")
+            base = transport_data.get("backoff_base_cycles")
+            cap = transport_data.get("backoff_max_cycles")
+            if (isinstance(base, (int, float)) and isinstance(cap, (int, float))
+                    and not isinstance(base, bool) and not isinstance(cap, bool)
+                    and cap < base):
+                report.add(
+                    Severity.ERROR, "out-of-range",
+                    "system.transport.backoff_max_cycles",
+                    f"backoff cap {cap} is below the base backoff {base}",
+                )
     if report.errors:
         return None, report.findings
 
@@ -436,6 +465,80 @@ def lint_faults(data: dict, num_links: Optional[int] = None,
     if kind is not None and kind not in ("local", "package"):
         report.add(Severity.ERROR, "unknown-parameter", "faults.kind",
                    f"link kind must be 'local' or 'package', got {kind!r}")
+    seed = data.get("seed")
+    if seed is not None and (isinstance(seed, bool) or not isinstance(seed, int)):
+        report.add(Severity.ERROR, "fault-factor-out-of-range", "faults.seed",
+                   f"fault seed must be an integer, got {seed!r}")
+    return report.findings
+
+
+def lint_fault_schedule(data: Any, source: str = "") -> list[Finding]:
+    """Dynamic fault-schedule lint (see :mod:`repro.network.fault_schedule`).
+
+    Validates the document shape, every event's keys/action/operands, and
+    cross-event consistency (a ``link_up`` for a link that was never taken
+    down is a warning — usually a typo in the endpoint pair).
+    """
+    from repro.network.fault_schedule import (
+        EVENT_KEYS,
+        SCHEDULE_KEYS,
+        FaultEvent,
+        FaultSchedule,
+    )
+
+    report = LintReport(source=source)
+    if not isinstance(data, dict):
+        report.add(Severity.ERROR, "malformed-spec", "fault_schedule",
+                   f"fault schedule must be an object, got {type(data).__name__}")
+        return report.findings
+    _check_unknown_keys(report, data, SCHEDULE_KEYS, "fault_schedule")
+    seed = data.get("seed")
+    if seed is not None and (isinstance(seed, bool) or not isinstance(seed, int)):
+        report.add(Severity.ERROR, "fault-factor-out-of-range",
+                   "fault_schedule.seed",
+                   f"fault-schedule seed must be an integer, got {seed!r}")
+    events = data.get("events", [])
+    if not isinstance(events, list):
+        report.add(Severity.ERROR, "malformed-spec", "fault_schedule.events",
+                   "events must be a list")
+        return report.findings
+
+    downed: set[tuple[int, int]] = set()
+    for i, entry in enumerate(sorted(
+            (e for e in events if isinstance(e, dict)),
+            key=lambda e: e.get("time", 0)
+            if isinstance(e.get("time", 0), (int, float)) else 0)):
+        prefix = f"fault_schedule.events[{i}]"
+        _check_unknown_keys(report, entry, EVENT_KEYS, prefix)
+        try:
+            event = FaultEvent.from_dict(
+                {k: v for k, v in entry.items() if k in EVENT_KEYS})
+        except ConfigError as exc:
+            report.add(Severity.ERROR, "fault-event-invalid", prefix, str(exc))
+            continue
+        if event.action.value == "link_down":
+            downed.add(event.link)
+        elif event.action.value == "link_up":
+            if event.link not in downed:
+                report.add(
+                    Severity.WARNING, "fault-link-up-without-down", prefix,
+                    f"link_up for {event.link[0]}->{event.link[1]} without a "
+                    f"preceding link_down (endpoint-pair typo?)",
+                )
+            else:
+                downed.discard(event.link)
+    for entry in events:
+        if not isinstance(entry, dict):
+            report.add(Severity.ERROR, "fault-event-invalid",
+                       "fault_schedule.events",
+                       f"events must be objects, got {type(entry).__name__}")
+    if report.ok(strict=False):
+        # Shape is valid; let the constructor catch anything else.
+        try:
+            FaultSchedule.from_dict(data)
+        except ConfigError as exc:
+            report.add(Severity.ERROR, "fault-event-invalid", "fault_schedule",
+                       str(exc))
     return report.findings
 
 
@@ -453,6 +556,11 @@ def lint_run_spec(data: Any, source: str = "") -> LintReport:
     if not isinstance(data, dict):
         report.add(Severity.ERROR, "malformed-spec", "",
                    f"expected a JSON object, got {type(data).__name__}")
+        return report
+
+    if set(data) <= {"seed", "events"} and "events" in data:
+        # A bare fault-schedule document (the --fault-schedule format).
+        report.extend(lint_fault_schedule(data, source=source))
         return report
 
     is_bare_config = "system" in data and "config" not in data
@@ -498,6 +606,10 @@ def lint_run_spec(data: Any, source: str = "") -> LintReport:
         else:
             num_links = _count_links(spec, config)
             report.extend(lint_faults(faults, num_links=num_links, source=source))
+
+    schedule = spec.get("fault_schedule")
+    if schedule is not None:
+        report.extend(lint_fault_schedule(schedule, source=source))
     return report
 
 

@@ -36,6 +36,7 @@ class System:
         events: Optional[EventQueue] = None,
         trace: bool = False,
         sanitizer=None,
+        fault_schedule=None,
     ):
         self.topology = topology
         self.config = config
@@ -53,7 +54,24 @@ class System:
         if backend is None:
             network = config.network if config.network is not None else topology.fabric.network
             backend = FastBackend(self.events, network, sanitizer=sanitizer)
+        #: Reliable transport wrapper, when config.system.transport enables
+        #: it (required for surviving fault schedules — docs/FAULTS.md).
+        self.transport = None
+        if config.system.transport is not None:
+            if getattr(backend, "supports_failure_callback", False):
+                self.transport = backend  # caller passed a wrapped backend
+            else:
+                from repro.system.transport import ReliableTransport
+
+                backend = ReliableTransport(backend, config.system.transport)
+                self.transport = backend
         self.backend = backend
+        #: Live fault state (repro.network.fault_schedule.FaultState) when a
+        #: schedule was installed; both backends consult it at injection.
+        self.fault_state = None
+        if fault_schedule is not None:
+            self.fault_state = fault_schedule.install(topology.fabric, self.events)
+            self.backend.faults = self.fault_state
         self.breakdown = DelayBreakdown()
         self.scheduler = Scheduler(
             topology.fabric, config.system, self.breakdown, now=lambda: self.events.now
@@ -162,6 +180,14 @@ class System:
     def run_until(self, time: float, max_events: Optional[int] = None) -> float:
         self.events.run(until=time, max_events=max_events)
         return self.events.now
+
+    def transport_stats(self):
+        """The :class:`repro.system.transport.TransportStats` of this run,
+        with the backend's drop counter folded in; ``None`` without a
+        reliable transport."""
+        if self.transport is None:
+            return None
+        return self.transport.snapshot_stats()
 
     def wait_for_summary(self) -> str:
         """What the simulation is still waiting on — the deadlock report.

@@ -132,6 +132,50 @@ class TestEventQueue:
         q.run()
         assert fired == ["chained"]
 
+    def test_same_time_in_handler_schedule_fires_in_same_pass(self):
+        """An event scheduled *at the current time* from inside a handler
+        must fire in the same drain pass, after everything already queued
+        for that timestamp — the determinism a fault flip racing a send
+        at the same cycle relies on."""
+        q = EventQueue()
+        fired = []
+        q.schedule_at(5.0, lambda: (fired.append("first"),
+                                    q.schedule(0.0, lambda: fired.append("nested"))))
+        q.schedule_at(5.0, lambda: fired.append("second"))
+        q.run()
+        assert fired == ["first", "second", "nested"]
+        assert q.now == 5.0
+
+    def test_fired_property_set_on_execution(self):
+        q = EventQueue()
+        handle = q.schedule_at(1.0, lambda: None)
+        assert not handle.fired
+        q.run()
+        assert handle.fired
+
+    def test_cancel_after_fire_is_noop(self):
+        """Cancelling an already-fired event (a delivery timer racing its
+        message) must neither mark it cancelled nor skew ``pending``."""
+        q = EventQueue()
+        handle = q.schedule_at(1.0, lambda: None)
+        keep = q.schedule_at(2.0, lambda: None)
+        q.run(until=1.0)
+        handle.cancel()
+        assert not handle.cancelled
+        assert q.pending == 1
+        q.run()
+        assert keep.fired
+
+    def test_run_until_past_does_not_rewind(self):
+        q = EventQueue()
+        q.schedule_at(10.0, lambda: None)
+        q.run()
+        assert q.now == 10.0
+        q.schedule_at(50.0, lambda: None)
+        q.run(until=3.0)
+        assert q.now == 10.0
+        assert q.pending == 1
+
     def test_run_not_reentrant(self):
         q = EventQueue()
         errors = []

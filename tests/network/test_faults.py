@@ -116,3 +116,16 @@ class TestDegradeRandomLinks:
         fabric = TorusFabric(TorusShape(2, 2, 2), NET)
         degrade_random_links(fabric, 1, 0.1, kind="package")
         assert slowest_link_bandwidth(fabric) == pytest.approx(2.5)
+
+    def test_extra_latency_forwarded_to_victims(self):
+        fabric = TorusFabric(TorusShape(2, 2, 2), NET)
+        baseline = {l.link_id: l.config.latency_cycles for l in fabric.links}
+        victims = degrade_random_links(fabric, 3, seed=5,
+                                       extra_latency_cycles=750.0)
+        assert len(victims) == 3
+        for link in victims:
+            assert link.config.latency_cycles == \
+                baseline[link.link_id] + 750.0
+        untouched = [l for l in fabric.links if l not in victims]
+        assert all(l.config.latency_cycles == baseline[l.link_id]
+                   for l in untouched)

@@ -225,7 +225,8 @@ class TestFindings:
 
 
 @pytest.mark.parametrize("name", [
-    "dimension_mismatch", "flit_misalignment", "bad_fault_factor"])
+    "dimension_mismatch", "flit_misalignment", "bad_fault_factor",
+    "bad_fault_schedule_action", "bad_fault_schedule_link"])
 def test_seeded_bad_configs_flag_errors(name):
     import os
 
