@@ -92,7 +92,7 @@ def _build_platform(args: argparse.Namespace):
             global_switches=args.global_switches,
             preferred_set_splits=args.preferred_set_splits,
         )
-    return _apply_fault_args(spec, args)
+    return _apply_resilience_args(_apply_fault_args(spec, args), args)
 
 
 def _apply_fault_args(spec, args: argparse.Namespace):
@@ -118,9 +118,54 @@ def _apply_fault_args(spec, args: argparse.Namespace):
     return spec
 
 
+def _apply_resilience_args(spec, args: argparse.Namespace):
+    """Attach --checkpoint-every / --resume-from / --watchdog to a spec.
+
+    Any of the three builds a :class:`repro.resilience.ResilienceConfig`;
+    the monitor observes through the event queue's watcher hook, so the
+    simulated trajectory is identical with or without these flags
+    (docs/RESILIENCE.md).
+    """
+    checkpoint = watchdog = None
+    if getattr(args, "checkpoint_every", None):
+        from repro.resilience import CheckpointConfig
+
+        checkpoint = CheckpointConfig(every_cycles=args.checkpoint_every,
+                                      directory=args.checkpoint_dir)
+    if getattr(args, "watchdog", False):
+        from repro.resilience import WatchdogConfig
+
+        watchdog = WatchdogConfig(stall_cycles=args.watchdog_stall_cycles,
+                                  bundle_dir=getattr(args, "bundle_dir", None))
+    resume = getattr(args, "resume_from", None)
+    if checkpoint is not None or watchdog is not None or resume:
+        from repro.resilience import ResilienceConfig
+        from repro.resilience.monitor import install_signal_handler
+
+        spec.resilience = ResilienceConfig(
+            checkpoint=checkpoint, watchdog=watchdog, resume_from=resume,
+            label=spec.name)
+        if checkpoint is not None:
+            install_signal_handler()
+    return spec
+
+
 def _print_transport_stats(stats) -> None:
     if stats is not None:
         print(stats.summary())
+
+
+def _print_resilience(system) -> None:
+    monitor = getattr(system, "resilience", None)
+    if monitor is None:
+        return
+    if monitor.saved_paths:
+        print(f"checkpoints: {len(monitor.saved_paths)} saved, last "
+              f"{monitor.saved_paths[-1]}")
+    if monitor.resume_checkpoint is not None and monitor.resume_verified:
+        ckpt = monitor.resume_checkpoint
+        print(f"resume verified: replay matched the checkpoint at "
+              f"t={ckpt.cycle:,.0f} ({ckpt.events_processed} events)")
 
 
 def _add_platform_args(p: argparse.ArgumentParser) -> None:
@@ -152,6 +197,24 @@ def _add_platform_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--transport", action="store_true",
                    help="wrap the network in the reliable transport "
                         "(timeouts, retransmission with backoff)")
+    p.add_argument("--checkpoint-every", type=float, default=None,
+                   metavar="CYCLES",
+                   help="take a verified-replay checkpoint every CYCLES "
+                        "simulated cycles (docs/RESILIENCE.md); SIGUSR1 "
+                        "also snapshots on demand")
+    p.add_argument("--checkpoint-dir", default="checkpoints", metavar="DIR",
+                   help="directory checkpoint files are written into")
+    p.add_argument("--resume-from", default=None, metavar="PATH",
+                   help="replay through PATH's checkpoint, verify the run "
+                        "is cycle-identical, then continue")
+    p.add_argument("--watchdog", action="store_true",
+                   help="abort with a StallError and a diagnostic bundle "
+                        "when no progress happens for --watchdog-stall-cycles")
+    p.add_argument("--watchdog-stall-cycles", type=float, default=2_000_000.0,
+                   metavar="CYCLES",
+                   help="no-progress window before the watchdog trips")
+    p.add_argument("--bundle-dir", default=None, metavar="DIR",
+                   help="write watchdog diagnostic bundles into DIR")
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
@@ -164,6 +227,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
                                   sanitize=args.sanitize)
     print(RunSummary.from_report(report).format())
     _print_transport_stats(system.transport_stats())
+    _print_resilience(system)
     if args.layer_table:
         print()
         print(format_layer_table(report))
@@ -180,6 +244,7 @@ def _cmd_collective(args: argparse.Namespace) -> int:
     print(f"{args.op} of {args.size_mb} MB on {result.label} "
           f"({result.num_npus} NPUs): {result.duration_cycles:,.0f} cycles")
     _print_transport_stats(result.transport_stats)
+    _print_resilience(result.system)
     if args.breakdown:
         print()
         print(format_breakdown(result.breakdown))
@@ -221,6 +286,29 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
     clean = all(report.ok(strict=args.strict) for report in reports)
     return 0 if clean else 1
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.resilience import ChaosConfig, run_chaos
+
+    backends = tuple(tok.strip() for tok in args.backends.split(",") if tok.strip())
+    config = ChaosConfig(
+        iterations=args.iterations,
+        seed=args.seed,
+        backends=backends,
+        max_events=args.max_events,
+        bundle_dir=args.bundle_dir,
+    )
+    report = run_chaos(config, log=print if args.verbose else None)
+    print(report.format())
+    if args.report:
+        import json
+
+        with open(args.report, "w") as f:
+            json.dump(report.to_dict(), f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"report written to {args.report}")
+    return 0 if report.ok else 1
 
 
 def _cmd_memory(args: argparse.Namespace) -> int:
@@ -293,6 +381,28 @@ def build_arg_parser() -> argparse.ArgumentParser:
     lint.add_argument("--strict", action="store_true",
                       help="treat warnings as errors (exit nonzero)")
     lint.set_defaults(func=_cmd_lint)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="fuzz seeded fault schedules + transport configs; every run "
+             "must end classified (success / graceful failure / diagnosed "
+             "stall), never in a silent hang")
+    chaos.add_argument("--iterations", type=int, default=25,
+                       help="fuzzed runs (round-robin across --backends)")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="campaign seed; same seed = same schedules")
+    chaos.add_argument("--backends", default="fast,detailed",
+                       help="comma list of backends to exercise")
+    chaos.add_argument("--max-events", type=int, default=5_000_000,
+                       help="livelock guard per run (the watchdog should "
+                            "always trip first)")
+    chaos.add_argument("--bundle-dir", default=None, metavar="DIR",
+                       help="write stall diagnostic bundles into DIR")
+    chaos.add_argument("--report", default=None, metavar="PATH",
+                       help="write the full classified report as JSON")
+    chaos.add_argument("--verbose", action="store_true",
+                       help="print each run as it finishes")
+    chaos.set_defaults(func=_cmd_chaos)
 
     mem = sub.add_parser("memory",
                          help="estimate per-NPU memory footprint of a model")

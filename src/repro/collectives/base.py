@@ -52,6 +52,16 @@ class CollectiveAlgorithmBase:
         self._pending: dict[int, list] = {n: [] for n in nodes}
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
+        #: Where this instance sits in a multi-phase plan ("phase 2/3
+        #: (all_reduce over HORIZONTAL) of set1/c0"), attached by the chunk
+        #: coordinator so an unrecoverable transport failure in any phase
+        #: surfaces as a :class:`CollectiveError` that names the phase and
+        #: dimension instead of a bare transport diagnostic.
+        self.fail_context: str = ""
+
+    def stuck_ranks(self) -> list[int]:
+        """The ranks that have not completed this instance (failure report)."""
+        return sorted(set(self.nodes) - self._done)
 
     # -- lifecycle -------------------------------------------------------------
 

@@ -88,7 +88,19 @@ class _DirectExchangeBase(CollectiveAlgorithmBase):
                 tag=(self.label, node, peer),
                 on_delivered=lambda msg: self._deliver(msg.dst, _DirectReceive(msg.src)),
                 phase_index=self.phase_index,
+                on_failed=lambda failure, s=switch: self._fail_fast(failure, s),
             )
+
+    def _fail_fast(self, failure, switch: SwitchChannel) -> None:
+        """A switch up/downlink died for good (retry budget exhausted):
+        unlike rings there is no counter-rotating spare, so fail with the
+        phase/dimension context instead of letting the barrier hang."""
+        where = f" in {self.fail_context}" if self.fail_context else ""
+        raise CollectiveError(
+            f"collective {self.label or type(self).__name__}{where} cannot "
+            f"make progress through switch {switch.switch_id}: "
+            f"{failure.describe()}; stuck ranks: {self.stuck_ranks()}"
+        )
 
     def _process(self, node: int, item: _DirectReceive) -> None:
         delay = self.ctx.endpoint_delay_cycles
@@ -188,3 +200,13 @@ class DirectAllReduce:
     @property
     def finished_at(self) -> Optional[float]:
         return self._gather.finished_at
+
+    @property
+    def fail_context(self) -> str:
+        return self._scatter.fail_context
+
+    @fail_context.setter
+    def fail_context(self, value: str) -> None:
+        # Both stages fail with the same phase/dimension context.
+        self._scatter.fail_context = value
+        self._gather.fail_context = value

@@ -162,6 +162,13 @@ class ChunkExecution:
         size = self.chunk_bytes * spec.size_fraction
         on_node_done = lambda n, p=phase_idx: self._leave_phase(n, p)  # noqa: E731
         label = f"{self.label}/p{phase_idx + 1}:{spec.op.value}@{spec.dim}"
+        # Failure context propagated into the phase's algorithm: when a
+        # mid-phase link dies for good, the CollectiveError names the phase
+        # and dimension of the multi-phase plan, not just the group.
+        fail_context = (
+            f"phase {phase_idx + 1}/{len(self.plan)} "
+            f"({spec.op.value} over {spec.dim.name}) of {self.label}"
+        )
 
         from repro.topology.mapping import MappedRingChannel
 
@@ -169,23 +176,26 @@ class ChunkExecution:
         if isinstance(first, (RingChannel, MappedRingChannel)):
             ring = channels[self.chunk_index % len(channels)]
             algorithm = _RING_ALGORITHMS[spec.op]
-            return algorithm(
+            instance = algorithm(
                 self.ctx, ring, size,
                 on_node_done=on_node_done,
                 phase_index=phase_idx + 1,
                 label=label,
             )
-        if isinstance(first, SwitchChannel):
+        elif isinstance(first, SwitchChannel):
             nodes = self._alltoall_group_nodes(group)
             algorithm = _DIRECT_ALGORITHMS[spec.op]
-            return algorithm(
+            instance = algorithm(
                 self.ctx, nodes, channels, size,
                 on_node_done=on_node_done,
                 phase_index=phase_idx + 1,
                 lsq_offset=self.chunk_index,
                 label=label,
             )
-        raise CollectiveError(f"unsupported channel type {type(first)!r}")
+        else:
+            raise CollectiveError(f"unsupported channel type {type(first)!r}")
+        instance.fail_context = fail_context
+        return instance
 
     def _alltoall_group_nodes(self, group: tuple) -> list[int]:
         """Members of an alltoall-dimension group, in package order (the

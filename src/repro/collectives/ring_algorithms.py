@@ -58,11 +58,12 @@ class _ResilientRingMixin:
         self._fail_fast(failure)
 
     def _fail_fast(self, failure) -> None:
-        stuck = sorted(set(self.nodes) - self._done)
+        stuck = self.stuck_ranks()
         direction = "surviving ring direction" if self._rerouted else "ring"
+        where = f" in {self.fail_context}" if self.fail_context else ""
         raise CollectiveError(
-            f"collective {self.label or type(self).__name__} cannot make "
-            f"progress on the {direction}: {failure.describe()}; "
+            f"collective {self.label or type(self).__name__}{where} cannot "
+            f"make progress on the {direction}: {failure.describe()}; "
             f"stuck ranks: {stuck}"
         )
 
@@ -215,6 +216,16 @@ class RingAllReduce:
     @property
     def finished_at(self) -> Optional[float]:
         return self._gather.finished_at
+
+    @property
+    def fail_context(self) -> str:
+        return self._scatter.fail_context
+
+    @fail_context.setter
+    def fail_context(self, value: str) -> None:
+        # Both stages fail with the same phase/dimension context.
+        self._scatter.fail_context = value
+        self._gather.fail_context = value
 
 
 @dataclass

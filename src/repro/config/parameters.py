@@ -235,6 +235,12 @@ class TransportConfig:
     backoff_max_cycles: float = 200_000.0
     jitter: float = 0.1
     seed: int = 0
+    #: Attempts lost to a *paused* endpoint are flow control, not path
+    #: failure: they retry with backoff but are not charged against
+    #: ``max_retries``.  This valve bounds how long a sender waits out a
+    #: pause before giving up anyway (a node that never resumes must not
+    #: retransmit forever on watchdog-less runs).
+    max_paused_waits: int = 1_000
 
     def __post_init__(self) -> None:
         if self.timeout_cycles <= 0:
@@ -251,6 +257,10 @@ class TransportConfig:
             raise ConfigError("backoff_max_cycles must be >= backoff_base_cycles")
         if not 0 <= self.jitter <= 1:
             raise ConfigError(f"jitter must be in [0, 1]: {self.jitter}")
+        if self.max_paused_waits < 0:
+            raise ConfigError(
+                f"max_paused_waits must be >= 0: {self.max_paused_waits}"
+            )
 
 
 @dataclass(frozen=True)

@@ -71,7 +71,7 @@ class EventHandle:
         """
         if not self._event.cancelled and not self._event.fired:
             self._event.cancelled = True
-            self._queue._cancelled_in_heap += 1
+            self._queue._note_cancel()
 
 
 class EventQueue:
@@ -86,6 +86,13 @@ class EventQueue:
     ['b', 'a']
     """
 
+    #: Lazy-removal compaction: once at least this many cancelled entries
+    #: sit in the heap *and* they outnumber the live ones, the heap is
+    #: rebuilt without them.  Long fuzz runs under the reliable transport
+    #: cancel one delivery timer per message and would otherwise grow the
+    #: heap without bound.
+    COMPACT_MIN_CANCELLED = 1024
+
     def __init__(self) -> None:
         self._heap: list[_ScheduledEvent] = []
         self._seq = itertools.count()
@@ -93,6 +100,12 @@ class EventQueue:
         self._events_processed = 0
         self._running = False
         self._cancelled_in_heap = 0
+        self._compactions = 0
+        #: Optional progress observer (see :mod:`repro.resilience`): called
+        #: as ``watcher(queue)`` after every executed event.  ``None`` (the
+        #: default) keeps the hot loop branch-predictable and the simulated
+        #: schedule untouched — watchers observe, they never inject events.
+        self.watcher: Optional[Callable[["EventQueue"], None]] = None
 
     @property
     def now(self) -> float:
@@ -113,6 +126,40 @@ class EventQueue:
     def heap_size(self) -> int:
         """Raw heap population, including lazily-removed cancelled events."""
         return len(self._heap)
+
+    @property
+    def compactions(self) -> int:
+        """How many times the heap was compacted (dead entries purged)."""
+        return self._compactions
+
+    def live_count(self) -> int:
+        """Recount live (non-cancelled) heap entries in O(n).
+
+        Ground truth for :attr:`pending`, which is maintained incrementally;
+        the runtime sanitizer compares the two at quiescence (a drift means
+        a cancellation was double-counted or lost).
+        """
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def _note_cancel(self) -> None:
+        self._cancelled_in_heap += 1
+        if (self._cancelled_in_heap >= self.COMPACT_MIN_CANCELLED
+                and self._cancelled_in_heap * 2 > len(self._heap)):
+            self.compact()
+
+    def compact(self) -> None:
+        """Rebuild the heap without cancelled entries.
+
+        Heap order is (time, seq); both survive compaction unchanged, so
+        the executed event sequence — and therefore the simulation — is
+        byte-for-byte identical with or without compaction.
+        """
+        if self._cancelled_in_heap == 0:
+            return
+        self._heap = [event for event in self._heap if not event.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0
+        self._compactions += 1
 
     def schedule_at(self, time: float, callback: EventCallback) -> EventHandle:
         """Schedule ``callback`` to fire at absolute simulated ``time``."""
@@ -152,6 +199,8 @@ class EventQueue:
             self._events_processed += 1
             event.fired = True
             event.callback()
+            if self.watcher is not None:
+                self.watcher(self)
             return True
         return False
 
@@ -198,6 +247,7 @@ class EventQueue:
         self._now = 0.0
         self._events_processed = 0
         self._cancelled_in_heap = 0
+        self._compactions = 0
 
 
 class Timeline:

@@ -11,7 +11,7 @@ Two entry points:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 from repro.collectives.types import CollectiveOp
@@ -60,6 +60,9 @@ class CollectiveResult:
     #: repro.system.transport.TransportStats when the run used the
     #: reliable transport; None otherwise.
     transport_stats: Optional[object] = None
+    #: The system the run executed on (checkpoint/watchdog state lives on
+    #: ``system.resilience``); kept out of repr, it is not a result value.
+    system: Optional[System] = field(default=None, repr=False)
 
 
 @dataclass
@@ -72,6 +75,14 @@ class PlatformSpec:
     #: Optional repro.network.fault_schedule.FaultSchedule installed into
     #: every system built from this spec.
     fault_schedule: Optional[object] = None
+    #: Optional repro.resilience.monitor.ResilienceConfig: checkpointing,
+    #: stall watchdog, and/or resume verification for every system built
+    #: from this spec (docs/RESILIENCE.md).
+    resilience: Optional[object] = None
+    #: Optional backend constructor ``(events, network, sanitizer) ->
+    #: NetworkBackend`` selecting a non-default backend (the detailed
+    #: flit-level one); None builds the fast analytical backend.
+    backend_factory: Optional[Callable] = None
 
     def build_system(self, sanitize: bool = False) -> System:
         """Build the system; ``sanitize=True`` attaches a fresh
@@ -84,7 +95,9 @@ class PlatformSpec:
 
             sanitizer = RuntimeSanitizer()
         return System(topology, self.config, sanitizer=sanitizer,
-                      fault_schedule=self.fault_schedule)
+                      fault_schedule=self.fault_schedule,
+                      resilience=self.resilience,
+                      backend_factory=self.backend_factory)
 
 
 def torus_platform(
@@ -187,6 +200,7 @@ def run_collective(
         breakdown=system.breakdown,
         num_npus=system.topology.num_npus,
         transport_stats=system.transport_stats(),
+        system=system,
     )
 
 

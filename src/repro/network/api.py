@@ -72,12 +72,14 @@ class NetworkBackend(abc.ABC):
         """
         if self.faults is None:
             return False
-        reason = self.faults.drop_reason(message, path)
-        if reason is None:
+        classified = self.faults.classify(message, path)
+        if classified is None:
             return False
+        kind, reason = classified
         self.faults.record_drop(reason)
         self.messages_dropped += 1
         message.drop_reason = reason
+        message.drop_kind = kind
         if self.sanitizer is not None:
             self.sanitizer.conservation.message_dropped(message)
         return True

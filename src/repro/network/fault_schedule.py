@@ -175,22 +175,36 @@ class FaultState:
         self.messages_dropped = 0
         self.drops_by_reason: dict[str, int] = {}
 
-    def drop_reason(self, message: "Message", path: list["Link"]) -> Optional[str]:
-        """Why ``message`` would be lost if injected now; None if healthy."""
+    def classify(self, message: "Message",
+                 path: list["Link"]) -> Optional[tuple[str, str]]:
+        """Why ``message`` would be lost if injected now, as a
+        ``(kind, reason)`` pair; ``None`` if healthy.
+
+        ``kind`` is one of ``"node_paused"``, ``"link_down"``,
+        ``"random_drop"`` — the reliable transport treats a paused endpoint
+        as transient flow control rather than a path failure, so it must be
+        able to tell the classes apart without parsing the prose.
+        """
         if message.src in self.paused:
-            return f"node {message.src} paused"
+            return "node_paused", f"node {message.src} paused"
         if message.dst in self.paused:
-            return f"node {message.dst} paused"
+            return "node_paused", f"node {message.dst} paused"
         for link in path:
             if (link.src, link.dst) in self.down:
-                return f"link {link.src}->{link.dst} down"
+                return "link_down", f"link {link.src}->{link.dst} down"
         if self.drop_probability or self.default_drop_probability > 0.0:
             for link in path:
                 p = self.drop_probability.get(
                     (link.src, link.dst), self.default_drop_probability)
                 if p > 0.0 and self.rng.random() < p:
-                    return f"random drop on link {link.src}->{link.dst}"
+                    return "random_drop", f"random drop on link {link.src}->{link.dst}"
         return None
+
+    def drop_reason(self, message: "Message", path: list["Link"]) -> Optional[str]:
+        """Prose-only variant of :meth:`classify` (kept for callers that
+        only report)."""
+        classified = self.classify(message, path)
+        return classified[1] if classified is not None else None
 
     def record_drop(self, reason: str) -> None:
         self.messages_dropped += 1
@@ -199,6 +213,30 @@ class FaultState:
     def down_links_on(self, path: list["Link"]) -> list[Endpoints]:
         """The currently-down endpoint pairs crossed by ``path``."""
         return [(l.src, l.dst) for l in path if (l.src, l.dst) in self.down]
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-serializable view of the live fault set.
+
+        Feeds the watchdog's diagnostic bundle and the checkpoint verifier;
+        ``rng_fingerprint`` summarizes the drop-RNG position so a resumed
+        run can prove it consumed the identical random sequence.
+        """
+        import hashlib
+
+        return {
+            "seed": self.seed,
+            "down_links": sorted(list(pair) for pair in self.down),
+            "paused_nodes": sorted(self.paused),
+            "drop_probability": {
+                f"{src}->{dst}": p
+                for (src, dst), p in sorted(self.drop_probability.items())
+            },
+            "default_drop_probability": self.default_drop_probability,
+            "messages_dropped": self.messages_dropped,
+            "drops_by_reason": dict(sorted(self.drops_by_reason.items())),
+            "rng_fingerprint": hashlib.sha256(
+                repr(self.rng.getstate()).encode()).hexdigest()[:16],
+        }
 
 
 class FaultSchedule:

@@ -38,8 +38,12 @@ class Message:
     delivered_at: float = 0.0
 
     # Why the fault layer dropped this message at injection; None when it
-    # was (or will be) delivered normally.
+    # was (or will be) delivered normally.  ``drop_kind`` is the machine-
+    # readable class ("link_down" / "node_paused" / "random_drop") the
+    # reliable transport keys its retry accounting on — a paused endpoint
+    # is transient flow control, not a path failure.
     drop_reason: str | None = None
+    drop_kind: str | None = None
 
     def __post_init__(self) -> None:
         if self.size_bytes < 0:

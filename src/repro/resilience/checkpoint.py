@@ -1,0 +1,261 @@
+"""Checkpoint/resume for the simulator, via verified deterministic replay.
+
+The event queue holds closures, so simulator state cannot be pickled and
+restored directly.  It does not need to be: the simulation is
+deterministic, so a checkpoint only has to prove that a rebuilt run is
+retracing the original trajectory.  A :class:`Checkpoint` is therefore a
+*fingerprint* of progress — the simulated cycle, the number of executed
+events, the delivery/drop counters, per-collective-set progress, the live
+fault set, the transport stats, and the positions of every seeded RNG —
+sealed with a digest.
+
+Resume (``--resume-from``) rebuilds the identical platform and replays
+from t=0; when the replay's ``events_processed`` reaches the checkpoint's,
+the monitor re-captures the fingerprint and compares field by field.  A
+match proves, to the resolution of the fingerprint, that the resumed run
+is cycle-identical to the interrupted one — every counter, every RNG
+position, every set's chunk progress agrees — and the run simply
+continues.  Any mismatch raises :class:`~repro.errors.CheckpointError`
+naming the diverging fields, instead of silently producing numbers from a
+different trajectory.
+
+This trades replay compute for an ironclad determinism guarantee: resume
+can never be *approximately* right.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import CheckpointError
+
+#: Bump when the fingerprint schema changes; loads of other versions fail.
+CHECKPOINT_VERSION = 1
+
+
+def config_digest(config: Any) -> str:
+    """Digest of a (frozen, nested-dataclass) simulation config.
+
+    ``repr`` of frozen dataclasses is deterministic and covers every
+    field, so two configs agree on this digest iff they are equal.
+    """
+    return hashlib.sha256(repr(config).encode()).hexdigest()[:16]
+
+
+def platform_digest(system) -> str:
+    """Digest identifying the platform a checkpoint belongs to.
+
+    Covers the simulation config *and* the topology's identity (kind,
+    NPU count, dimension sizes) — different torus shapes share one
+    ``SimulationConfig``, so the config alone cannot tell platforms
+    apart.  Resume against a different platform is refused before any
+    cycles are spent replaying.
+    """
+    topology = system.topology
+    key = (
+        type(topology).__name__,
+        topology.num_npus,
+        repr(topology.dim_sizes(None)),
+        repr(system.config),
+    )
+    return hashlib.sha256(repr(key).encode()).hexdigest()[:16]
+
+
+@dataclass
+class CheckpointConfig:
+    """Cadence and destination for periodic checkpoints."""
+
+    #: Take a checkpoint every this many simulated cycles.
+    every_cycles: float
+    #: Directory checkpoint JSON files are written into (created lazily).
+    directory: str = "checkpoints"
+    #: Filename prefix.
+    prefix: str = "ckpt"
+
+    def __post_init__(self) -> None:
+        if self.every_cycles <= 0:
+            raise CheckpointError(
+                f"checkpoint cadence must be positive cycles, got "
+                f"{self.every_cycles}"
+            )
+
+
+@dataclass
+class Checkpoint:
+    """One progress fingerprint (see the module docstring)."""
+
+    version: int
+    label: str
+    config_digest: str
+    cycle: float
+    events_processed: int
+    pending: int
+    messages_delivered: int
+    bytes_delivered: float
+    messages_dropped: int
+    #: Per-collective-set progress records.
+    sets: list = field(default_factory=list)
+    #: ``FaultState.snapshot()`` when a fault schedule is installed.
+    faults: Optional[dict] = None
+    #: Transport stats + jitter-RNG fingerprint when the reliable
+    #: transport wraps the backend.
+    transport: Optional[dict] = None
+    digest: str = ""
+
+    # -- capture -----------------------------------------------------------------
+
+    @classmethod
+    def capture(cls, system, label: str = "",
+                cfg_digest: str = "") -> "Checkpoint":
+        """Fingerprint ``system``'s progress right now."""
+        # Sets are keyed by issue order, not set_id: set ids come from a
+        # process-global counter, so they differ between the original run
+        # and a replay in the same process without meaning divergence.
+        sets = [
+            {
+                "index": i,
+                "name": s.name,
+                "op": s.op.value,
+                "chunks_done": s.chunks_done,
+                "num_chunks": s.num_chunks,
+                "done": s.done,
+            }
+            for i, s in enumerate(system.sets)
+        ]
+        faults = (system.fault_state.snapshot()
+                  if system.fault_state is not None else None)
+        transport = None
+        if system.transport is not None:
+            transport = {
+                "stats": system.transport.snapshot_stats().as_dict(),
+                "rng_fingerprint": system.transport.rng_fingerprint(),
+            }
+        ckpt = cls(
+            version=CHECKPOINT_VERSION,
+            label=label,
+            config_digest=cfg_digest or platform_digest(system),
+            cycle=system.now,
+            events_processed=system.events.events_processed,
+            pending=system.events.pending,
+            messages_delivered=system.backend.messages_delivered,
+            bytes_delivered=system.backend.bytes_delivered,
+            messages_dropped=system.backend.messages_dropped,
+            sets=sets,
+            faults=faults,
+            transport=transport,
+        )
+        ckpt.digest = ckpt._compute_digest()
+        return ckpt
+
+    def _compute_digest(self) -> str:
+        body = {k: v for k, v in self.to_dict().items() if k != "digest"}
+        canonical = json.dumps(body, sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    # -- (de)serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "version": self.version,
+            "label": self.label,
+            "config_digest": self.config_digest,
+            "cycle": self.cycle,
+            "events_processed": self.events_processed,
+            "pending": self.pending,
+            "messages_delivered": self.messages_delivered,
+            "bytes_delivered": self.bytes_delivered,
+            "messages_dropped": self.messages_dropped,
+            "sets": self.sets,
+            "faults": self.faults,
+            "transport": self.transport,
+            "digest": self.digest,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Checkpoint":
+        if not isinstance(data, dict):
+            raise CheckpointError(
+                f"checkpoint must be an object, got {type(data).__name__}")
+        version = data.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"unsupported checkpoint version {version!r}; this build "
+                f"reads version {CHECKPOINT_VERSION}"
+            )
+        try:
+            ckpt = cls(**{k: data[k] for k in (
+                "version", "label", "config_digest", "cycle",
+                "events_processed", "pending", "messages_delivered",
+                "bytes_delivered", "messages_dropped", "sets", "faults",
+                "transport", "digest")})
+        except KeyError as exc:
+            raise CheckpointError(f"checkpoint missing field {exc}") from None
+        if ckpt.digest != ckpt._compute_digest():
+            raise CheckpointError(
+                "checkpoint digest mismatch: the file is corrupt or was "
+                "edited after capture"
+            )
+        return ckpt
+
+    def save(self, path: str) -> str:
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        tmp = path + ".tmp"
+        with open(tmp, "w") as f:
+            json.dump(self.to_dict(), f, indent=2, sort_keys=True)
+            f.write("\n")
+        os.replace(tmp, path)  # readers never see a torn checkpoint
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "Checkpoint":
+        try:
+            with open(path) as f:
+                data = json.load(f)
+        except OSError as exc:
+            raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(f"invalid checkpoint JSON in {path}: {exc}") from exc
+        return cls.from_dict(data)
+
+    # -- verification ------------------------------------------------------------
+
+    def mismatches(self, system, label: str = "") -> list[str]:
+        """Field-by-field differences between this fingerprint and
+        ``system``'s state right now (empty = the replay is on track)."""
+        current = Checkpoint.capture(system, label=label or self.label,
+                                     cfg_digest=self.config_digest)
+        diffs: list[str] = []
+        mine, theirs = self.to_dict(), current.to_dict()
+        for key in mine:
+            if key in ("digest", "label"):
+                continue
+            if key == "config_digest":
+                actual = platform_digest(system)
+                if self.config_digest and self.config_digest != actual:
+                    diffs.append(
+                        f"config_digest: checkpoint {self.config_digest} != "
+                        f"platform {actual} (different platform/config)"
+                    )
+                continue
+            if mine[key] != theirs[key]:
+                diffs.append(f"{key}: checkpoint {mine[key]!r} != run {theirs[key]!r}")
+        return diffs
+
+    def verify(self, system, label: str = "") -> None:
+        """Raise :class:`CheckpointError` unless ``system`` matches."""
+        diffs = self.mismatches(system, label=label)
+        if diffs:
+            raise CheckpointError(
+                f"resume diverged from checkpoint at "
+                f"events_processed={self.events_processed} "
+                f"(t={self.cycle:,.0f}):\n  " + "\n  ".join(diffs)
+            )
+
+    def filename(self, prefix: str = "ckpt") -> str:
+        return f"{prefix}-{self.events_processed:012d}.json"

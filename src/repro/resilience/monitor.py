@@ -1,0 +1,177 @@
+"""The resilience monitor: one queue watcher driving checkpoints, the
+stall watchdog, and resume verification.
+
+The event queue exposes a single :attr:`~repro.events.engine.EventQueue.watcher`
+slot; :class:`ResilienceMonitor` is the composite installed there by
+:class:`repro.system.sys_layer.System` when a :class:`ResilienceConfig`
+is supplied.  Per executed event it (in order):
+
+1. verifies a resume checkpoint the moment the replay reaches its
+   ``events_processed`` mark (see :mod:`repro.resilience.checkpoint`),
+2. feeds the watchdog's progress sampler,
+3. takes a periodic checkpoint when the simulated clock crosses the next
+   cadence boundary (or when :meth:`request_checkpoint` was called, e.g.
+   from a signal handler).
+
+None of these schedule events, so the simulated trajectory is identical
+with the monitor on or off.
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.errors import CheckpointError
+from repro.resilience.checkpoint import Checkpoint, CheckpointConfig, platform_digest
+from repro.resilience.watchdog import Watchdog, WatchdogConfig
+
+#: Live monitors, for the out-of-band checkpoint signal (see
+#: :func:`install_signal_handler`).
+_LIVE_MONITORS: "weakref.WeakSet" = weakref.WeakSet()
+
+
+def _on_checkpoint_signal(signum, frame) -> None:  # pragma: no cover - signal
+    for monitor in list(_LIVE_MONITORS):
+        monitor.request_checkpoint()
+
+
+def install_signal_handler() -> bool:
+    """Checkpoint-on-signal: ``SIGUSR1`` flags every live monitor to
+    snapshot at its next executed event (only a flag is set in the
+    handler, so this is async-signal-safe).  Returns ``False`` on
+    platforms without ``SIGUSR1``."""
+    import signal
+
+    if not hasattr(signal, "SIGUSR1"):
+        return False
+    signal.signal(signal.SIGUSR1, _on_checkpoint_signal)
+    return True
+
+
+@dataclass
+class ResilienceConfig:
+    """What resilience machinery to attach to a system."""
+
+    #: Periodic checkpointing; ``None`` disables.
+    checkpoint: Optional[CheckpointConfig] = None
+    #: Stall detection; ``None`` disables.
+    watchdog: Optional[WatchdogConfig] = None
+    #: A checkpoint (or a path to one) this run must replay through and
+    #: verify against; ``None`` for a fresh run.
+    resume_from: Optional[Union[Checkpoint, str]] = None
+    #: Label recorded in captured checkpoints (platform name).
+    label: str = ""
+
+    @property
+    def enabled(self) -> bool:
+        return (self.checkpoint is not None or self.watchdog is not None
+                or self.resume_from is not None)
+
+
+class ResilienceMonitor:
+    """Composite queue watcher (see the module docstring)."""
+
+    def __init__(self, system, config: ResilienceConfig):
+        self.system = system
+        self.config = config
+        _LIVE_MONITORS.add(self)
+        self._cfg_digest = platform_digest(system)
+        self.watchdog: Optional[Watchdog] = None
+        if config.watchdog is not None:
+            self.watchdog = Watchdog(system, config.watchdog)
+
+        self._next_due: Optional[float] = None
+        if config.checkpoint is not None:
+            self._next_due = config.checkpoint.every_cycles
+        self._checkpoint_requested = False
+        #: Checkpoints captured this run, in capture order.
+        self.checkpoints: list[Checkpoint] = []
+        #: Paths the captured checkpoints were saved to.
+        self.saved_paths: list[str] = []
+
+        self.resume_checkpoint: Optional[Checkpoint] = None
+        self.resume_verified = False
+        if config.resume_from is not None:
+            ckpt = config.resume_from
+            if isinstance(ckpt, str):
+                ckpt = Checkpoint.load(ckpt)
+            if ckpt.config_digest and ckpt.config_digest != self._cfg_digest:
+                raise CheckpointError(
+                    f"checkpoint was captured on config "
+                    f"{ckpt.config_digest}, this platform is "
+                    f"{self._cfg_digest}; resume refused (the replay could "
+                    f"not be cycle-identical)"
+                )
+            if self.system.events.events_processed > ckpt.events_processed:
+                raise CheckpointError(
+                    "resume checkpoint lies in this run's past; attach the "
+                    "monitor before running"
+                )
+            self.resume_checkpoint = ckpt
+            if self.system.events.events_processed == ckpt.events_processed:
+                # Degenerate checkpoint captured before any event fired.
+                ckpt.verify(self.system, label=self.config.label)
+                self.resume_verified = True
+
+    # -- the watcher entry point ---------------------------------------------------
+
+    def on_event(self, queue) -> None:
+        if (self.resume_checkpoint is not None and not self.resume_verified
+                and queue.events_processed
+                >= self.resume_checkpoint.events_processed):
+            # Exact hit: the watcher sees every events_processed value.
+            self.resume_checkpoint.verify(self.system, label=self.config.label)
+            self.resume_verified = True
+        if self.watchdog is not None:
+            self.watchdog.note_event()
+        if self._checkpoint_requested:
+            self._checkpoint_requested = False
+            self.take_checkpoint()
+        if self._next_due is not None and queue.now >= self._next_due:
+            every = self.config.checkpoint.every_cycles
+            while self._next_due <= queue.now:
+                self._next_due += every
+            self.take_checkpoint()
+
+    # -- checkpointing ---------------------------------------------------------------
+
+    def request_checkpoint(self) -> None:
+        """Ask for a checkpoint at the next executed event.
+
+        Async-signal-safe (sets a flag); the CLI wires this to ``SIGUSR1``
+        so a long run can be snapshotted from outside without stopping it.
+        """
+        self._checkpoint_requested = True
+
+    def take_checkpoint(self) -> Checkpoint:
+        """Capture (and, with a checkpoint config, save) a checkpoint now."""
+        ckpt = Checkpoint.capture(self.system, label=self.config.label,
+                                  cfg_digest=self._cfg_digest)
+        self.checkpoints.append(ckpt)
+        cfg = self.config.checkpoint
+        if cfg is not None:
+            path = os.path.join(cfg.directory, ckpt.filename(cfg.prefix))
+            self.saved_paths.append(ckpt.save(path))
+        return ckpt
+
+    # -- end of run ------------------------------------------------------------------
+
+    def finalize(self) -> None:
+        """Called by ``run_until_idle`` after the queue drains.
+
+        A resume checkpoint the replay never reached means the
+        interrupted run had executed more events than this one ever will
+        — the platform or workload differs, and the "resumed" numbers
+        would be from a different trajectory.
+        """
+        if self.resume_checkpoint is not None and not self.resume_verified:
+            raise CheckpointError(
+                f"run drained after "
+                f"{self.system.events.events_processed} events without "
+                f"reaching the resume checkpoint's "
+                f"{self.resume_checkpoint.events_processed}; the replay "
+                f"does not match the checkpointed run"
+            )

@@ -100,6 +100,8 @@ class SanitizedEventQueue(EventQueue):
             self._events_processed += 1
             event.fired = True
             event.callback()
+            if self.watcher is not None:
+                self.watcher(self)
             return True
         return False
 
@@ -305,13 +307,34 @@ class RuntimeSanitizer:
             findings.extend(self.barriers.quiescence_findings())
         return findings
 
+    def event_queue_findings(self, events: EventQueue) -> list[Finding]:
+        """The pending-vs-heap invariant: the incrementally maintained live
+        count must agree with an O(n) recount.  A drift means a cancellation
+        was double-counted or lost (e.g. by a buggy compaction), which would
+        silently skew every heap-pressure decision downstream."""
+        findings: list[Finding] = []
+        live = events.live_count()
+        if live != events.pending:
+            findings.append(Finding(
+                Severity.ERROR, "pending-count-drift", "events.queue",
+                f"event queue reports {events.pending} pending events but the "
+                f"heap holds {live} live entries "
+                f"(heap_size={events.heap_size}, after "
+                f"{events.compactions} compaction(s))",
+                source="runtime",
+            ))
+        return findings
+
     def verify_quiescent(self, system=None) -> None:
         """Raise :class:`SanitizerError` if any ledger is unbalanced.
 
         Call after the event queue drained; ``system`` (optional) adds a
-        wait-for summary for outstanding collectives to the report.
+        wait-for summary for outstanding collectives to the report and has
+        its event queue audited for pending-count drift.
         """
         findings = self.quiescence_findings()
+        if system is not None:
+            findings.extend(self.event_queue_findings(system.events))
         if system is not None and not system.scheduler.idle:
             findings.append(Finding(
                 Severity.ERROR, "drain-deadlock", "system.scheduler",

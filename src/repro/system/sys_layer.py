@@ -37,6 +37,8 @@ class System:
         trace: bool = False,
         sanitizer=None,
         fault_schedule=None,
+        resilience=None,
+        backend_factory=None,
     ):
         self.topology = topology
         self.config = config
@@ -53,7 +55,12 @@ class System:
             self.events = EventQueue()
         if backend is None:
             network = config.network if config.network is not None else topology.fabric.network
-            backend = FastBackend(self.events, network, sanitizer=sanitizer)
+            if backend_factory is not None:
+                # Harness hook for the non-default backend (the detailed
+                # flit-level one), called with the queue the system built.
+                backend = backend_factory(self.events, network, sanitizer)
+            else:
+                backend = FastBackend(self.events, network, sanitizer=sanitizer)
         #: Reliable transport wrapper, when config.system.transport enables
         #: it (required for surviving fault schedules — docs/FAULTS.md).
         self.transport = None
@@ -81,6 +88,17 @@ class System:
         self.scheduler.keep_completed = trace
         self.sets: list[CollectiveSet] = []
         self._p2p: Optional[P2PEngine] = None
+        #: repro.resilience.monitor.ResilienceMonitor when a resilience
+        #: config (checkpointing / watchdog / resume) was supplied.  The
+        #: monitor observes through the queue's watcher hook and never
+        #: schedules events, so attaching it cannot change the simulated
+        #: trajectory.
+        self.resilience = None
+        if resilience is not None and resilience.enabled:
+            from repro.resilience.monitor import ResilienceMonitor
+
+            self.resilience = ResilienceMonitor(self, resilience)
+            self.events.watcher = self.resilience.on_event
 
     # -- time ----------------------------------------------------------------------
 
@@ -173,6 +191,8 @@ class System:
                 f"in flight and {self.scheduler.ready_count} ready (deadlock?)\n"
                 + self.wait_for_summary()
             )
+        if self.resilience is not None:
+            self.resilience.finalize()
         if self.sanitizer is not None:
             self.sanitizer.verify_quiescent(self)
         return self.events.now
@@ -188,6 +208,56 @@ class System:
         if self.transport is None:
             return None
         return self.transport.snapshot_stats()
+
+    def progress_vector(self) -> tuple:
+        """A tuple that changes iff the simulation made *real* progress.
+
+        Sampled by the stall watchdog (:mod:`repro.resilience.watchdog`):
+        deliveries, issued sets, chunk and set completions all count;
+        retransmissions, drops and backoff timers deliberately do not — a
+        retry storm against a dead path must read as "no progress".
+        """
+        return (
+            self.backend.messages_delivered,
+            self.backend.bytes_delivered,
+            len(self.sets),
+            sum(c.chunks_done for c in self.sets),
+            sum(1 for c in self.sets if c.done),
+        )
+
+    def diagnostics(self) -> dict:
+        """JSON-serializable snapshot of where the simulation stands.
+
+        The payload of watchdog diagnostic bundles; everything a post-
+        mortem needs without the process that hung.
+        """
+        per_chunk = [
+            {
+                "label": execution.label,
+                "min_phase": execution.current_min_phase + 1,
+                "phases": len(execution.plan),
+                "nodes_per_phase": list(execution._nodes_in_phase[:-1]),
+            }
+            for execution in self.scheduler.in_flight.values()
+        ]
+        transport = self.transport_stats()
+        return {
+            "time": self.events.now,
+            "events_processed": self.events.events_processed,
+            "pending_events": self.events.pending,
+            "heap_size": self.events.heap_size,
+            "progress_vector": list(self.progress_vector()),
+            "chunks_ready": self.scheduler.ready_count,
+            "chunks_in_flight": per_chunk,
+            "sets": [
+                {"set_id": s.set_id, "name": s.name, "op": s.op.value,
+                 "chunks_done": s.chunks_done, "num_chunks": s.num_chunks}
+                for s in self.sets if not s.done
+            ],
+            "faults": (self.fault_state.snapshot()
+                       if self.fault_state is not None else None),
+            "transport": transport.as_dict() if transport is not None else None,
+        }
 
     def wait_for_summary(self) -> str:
         """What the simulation is still waiting on — the deadlock report.

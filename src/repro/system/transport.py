@@ -55,6 +55,9 @@ class TransportStats:
     timeouts: int = 0
     #: Retransmissions issued (== timeouts that had budget left).
     retries: int = 0
+    #: Retransmissions after a paused-endpoint drop; waited out with
+    #: backoff but *not* charged against the ``max_retries`` budget.
+    paused_waits: int = 0
     #: Messages delivered after at least one retransmission.
     recovered: int = 0
     #: Messages that exhausted their retry budget.
@@ -67,15 +70,18 @@ class TransportStats:
         return {
             "messages": self.messages, "sends": self.sends,
             "timeouts": self.timeouts, "retries": self.retries,
+            "paused_waits": self.paused_waits,
             "recovered": self.recovered, "failed": self.failed,
             "drops": self.drops,
         }
 
     def summary(self) -> str:
+        paused = (f", {self.paused_waits} paused waits"
+                  if self.paused_waits else "")
         return (
             f"transport: {self.messages} messages, {self.sends} sends, "
             f"{self.drops} dropped, {self.timeouts} timeouts, "
-            f"{self.retries} retries, {self.recovered} recovered, "
+            f"{self.retries} retries{paused}, {self.recovered} recovered, "
             f"{self.failed} failed"
         )
 
@@ -111,7 +117,7 @@ class _Entry:
     """In-flight state for one logical message."""
 
     __slots__ = ("message", "path", "on_delivered", "on_failed",
-                 "attempts", "done", "timer", "last_sent")
+                 "attempts", "paused_waits", "done", "timer", "last_sent")
 
     def __init__(self, message: Message, path: list[Link],
                  on_delivered: DeliveryCallback,
@@ -121,6 +127,7 @@ class _Entry:
         self.on_delivered = on_delivered
         self.on_failed = on_failed
         self.attempts = 0
+        self.paused_waits = 0
         self.done = False
         self.timer: Optional[EventHandle] = None
         self.last_sent: Message = message
@@ -212,10 +219,22 @@ class ReliableTransport:
         if entry.done or attempt != entry.attempts:
             return  # delivered, or this timer belongs to a superseded attempt
         self.stats.timeouts += 1
-        if entry.attempts > self.config.max_retries:
-            self._fail(entry)
-            return
-        self.stats.retries += 1
+        # An attempt the fault layer dropped because an endpoint is paused
+        # is flow control, not path failure: wait it out with backoff
+        # without burning the retry budget (the pause may outlast many
+        # timeout windows), bounded only by the max_paused_waits valve.
+        paused = entry.last_sent.drop_kind == "node_paused"
+        if paused:
+            entry.paused_waits += 1
+            self.stats.paused_waits += 1
+            if entry.paused_waits > self.config.max_paused_waits:
+                self._fail(entry)
+                return
+        else:
+            if entry.attempts - entry.paused_waits > self.config.max_retries:
+                self._fail(entry)
+                return
+            self.stats.retries += 1
         backoff = min(
             self.config.backoff_base_cycles
             * self.config.backoff_factor ** (entry.attempts - 1),
@@ -250,3 +269,11 @@ class ReliableTransport:
         """The stats record with the backend's drop counter folded in."""
         self.stats.drops = self.inner.messages_dropped
         return self.stats
+
+    def rng_fingerprint(self) -> str:
+        """Digest of the jitter RNG position (checkpoint verification): a
+        resumed run that consumed a different backoff sequence cannot be
+        cycle-identical, and this catches it at the checkpoint boundary."""
+        import hashlib
+
+        return hashlib.sha256(repr(self._rng.getstate()).encode()).hexdigest()[:16]

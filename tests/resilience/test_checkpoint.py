@@ -1,0 +1,181 @@
+"""Checkpoint round-trips: a resumed run must be cycle-identical.
+
+The resume guarantee under test (docs/RESILIENCE.md): rebuilding the
+platform and replaying through any checkpoint yields the same trajectory
+— verified in-stream at the checkpoint's event mark and re-checked here
+against the uninterrupted run's final fingerprint — on both backends,
+with and without a fault schedule in play.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.collectives.types import CollectiveOp
+from repro.config.parameters import TorusShape, TransportConfig
+from repro.errors import CheckpointError
+from repro.harness.runners import run_collective, run_training, torus_platform
+from repro.models import mlp
+from repro.network.detailed.backend import DetailedBackend
+from repro.network.fault_schedule import FaultAction, FaultEvent, FaultSchedule
+from repro.resilience import Checkpoint, CheckpointConfig, ResilienceConfig
+
+SIZES = {"fast": 256 * 1024, "detailed": 16 * 1024}
+#: Checkpoint cadence sized well under each backend's healthy run length.
+CADENCES = {"fast": 2_000.0, "detailed": 300.0}
+
+
+def make_spec(backend="fast", schedule=None, resilience=None):
+    spec = torus_platform(TorusShape(2, 2, 2), preferred_set_splits=4)
+    if schedule is not None:
+        spec.config = replace(
+            spec.config,
+            system=replace(spec.config.system, transport=TransportConfig()))
+        spec.fault_schedule = schedule
+    if backend == "detailed":
+        spec.backend_factory = (
+            lambda events, network, sanitizer:
+            DetailedBackend(events, network, sanitizer=sanitizer))
+    spec.resilience = resilience
+    return spec
+
+
+def recoverable_schedule(horizon):
+    """A flap plus a lossy link, all healed within ``horizon`` cycles, so
+    the run completes (with retransmissions) rather than failing."""
+    return FaultSchedule([
+        FaultEvent(time=0.0, action=FaultAction.DROP, link=(0, 1),
+                   probability=0.2),
+        FaultEvent(time=horizon * 0.1, action=FaultAction.LINK_DOWN,
+                   link=(1, 0)),
+        FaultEvent(time=horizon * 0.6, action=FaultAction.LINK_UP,
+                   link=(1, 0)),
+    ], seed=11)
+
+
+def final_fingerprint(system):
+    data = Checkpoint.capture(system, label="final").to_dict()
+    data.pop("digest")
+    return data
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("backend", ["fast", "detailed"])
+    @pytest.mark.parametrize("faulty", [False, True], ids=["healthy", "faulty"])
+    def test_resume_matches_uninterrupted(self, tmp_path, backend, faulty):
+        size = SIZES[backend]
+
+        def schedule():
+            if not faulty:
+                return None
+            return recoverable_schedule(2_000.0 if backend == "detailed"
+                                        else 8_000.0)
+
+        baseline_spec = make_spec(backend, schedule(), ResilienceConfig(
+            checkpoint=CheckpointConfig(every_cycles=CADENCES[backend],
+                                        directory=str(tmp_path)),
+            label="t"))
+        baseline = run_collective(baseline_spec, CollectiveOp.ALL_REDUCE, size)
+        monitor = baseline.system.resilience
+        assert monitor.saved_paths, "cadence must produce checkpoints"
+        reference = final_fingerprint(baseline.system)
+
+        # Resume from several cadence points: earliest, middle, latest.
+        paths = monitor.saved_paths
+        picks = {paths[0], paths[len(paths) // 2], paths[-1]}
+        for path in picks:
+            spec = make_spec(backend, schedule(),
+                             ResilienceConfig(resume_from=path, label="t"))
+            resumed = run_collective(spec, CollectiveOp.ALL_REDUCE, size)
+            assert resumed.system.resilience.resume_verified
+            assert resumed.duration_cycles == baseline.duration_cycles
+            assert final_fingerprint(resumed.system) == reference
+
+    def test_training_round_trip(self, tmp_path):
+        model = mlp(widths=(1024, 512))
+        baseline_spec = make_spec(resilience=ResilienceConfig(
+            checkpoint=CheckpointConfig(every_cycles=50_000.0,
+                                        directory=str(tmp_path)),
+            label="t"))
+        report, system = run_training(model, baseline_spec, num_iterations=1)
+        monitor = system.resilience
+        assert monitor.saved_paths
+        reference = final_fingerprint(system)
+
+        spec = make_spec(resilience=ResilienceConfig(
+            resume_from=monitor.saved_paths[-1], label="t"))
+        report2, system2 = run_training(model, spec, num_iterations=1)
+        assert system2.resilience.resume_verified
+        assert system2.now == system.now
+        assert final_fingerprint(system2) == reference
+
+
+class TestGuards:
+    def run_with_checkpoints(self, tmp_path, size=256 * 1024):
+        spec = make_spec(resilience=ResilienceConfig(
+            checkpoint=CheckpointConfig(every_cycles=2_000.0,
+                                        directory=str(tmp_path)),
+            label="t"))
+        result = run_collective(spec, CollectiveOp.ALL_REDUCE, size)
+        return result, result.system.resilience.saved_paths
+
+    def test_wrong_platform_refused(self, tmp_path):
+        _, paths = self.run_with_checkpoints(tmp_path)
+        other = torus_platform(TorusShape(2, 2, 4), preferred_set_splits=4)
+        other.resilience = ResilienceConfig(resume_from=paths[0], label="t")
+        with pytest.raises(CheckpointError, match="config"):
+            run_collective(other, CollectiveOp.ALL_REDUCE, 256 * 1024)
+
+    def test_divergent_workload_detected(self, tmp_path):
+        """Replaying a *different* workload against a checkpoint must fail
+        loudly — either the fingerprint mismatches mid-replay or the run
+        drains without ever reaching the checkpoint's event mark."""
+        _, paths = self.run_with_checkpoints(tmp_path)
+        spec = make_spec(resilience=ResilienceConfig(resume_from=paths[-1],
+                                                     label="t"))
+        with pytest.raises(CheckpointError):
+            run_collective(spec, CollectiveOp.ALL_REDUCE, 64 * 1024)
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        _, paths = self.run_with_checkpoints(tmp_path)
+        path = paths[0]
+        text = open(path).read().replace('"messages_delivered": ',
+                                         '"messages_delivered": 1')
+        open(path, "w").write(text)
+        with pytest.raises(CheckpointError, match="digest"):
+            Checkpoint.load(path)
+
+    def test_bad_version_rejected(self, tmp_path):
+        _, paths = self.run_with_checkpoints(tmp_path)
+        ckpt = Checkpoint.load(paths[0])
+        data = ckpt.to_dict()
+        data["version"] = 999
+        with pytest.raises(CheckpointError, match="version"):
+            Checkpoint.from_dict(data)
+
+    def test_bad_cadence_rejected(self):
+        with pytest.raises(CheckpointError):
+            CheckpointConfig(every_cycles=0.0)
+
+
+class TestOnDemand:
+    def test_request_checkpoint_captures_without_cadence(self):
+        spec = make_spec(resilience=ResilienceConfig(label="t"))
+        # A config with nothing enabled attaches no monitor...
+        system = spec.build_system()
+        assert system.resilience is None
+
+        # ...but a watchdog-less, cadence-less monitor can still be asked
+        # for snapshots (the SIGUSR1 path sets the same flag).
+        from repro.resilience import WatchdogConfig
+
+        spec = make_spec(resilience=ResilienceConfig(
+            watchdog=WatchdogConfig(), label="t"))
+        system = spec.build_system()
+        system.resilience.request_checkpoint()
+        collective = system.request_collective(CollectiveOp.ALL_REDUCE,
+                                               256 * 1024)
+        system.run_until_idle()
+        assert collective.done
+        assert len(system.resilience.checkpoints) == 1
+        assert not system.resilience.saved_paths  # nothing written to disk
