@@ -1,0 +1,157 @@
+"""Hot-path macro-benchmark: the canonical events/sec figures.
+
+Three representative simulations — a fast-backend all-reduce, a
+fast-backend all-to-all over a switch fabric, and a detailed (flit-level)
+all-reduce — timed with :class:`repro.profiling.RunProfile`.  Together
+they exercise every hot path the perf work touches: the event-queue run
+loop, ``FastBackend.send`` + ``Link.reserve``, the channel route caches,
+and the detailed backend's per-flit ``TxPort`` arbitration.
+
+Usage::
+
+    python benchmarks/bench_hot_path.py --out BENCH_PR5.json
+    python benchmarks/bench_hot_path.py --check BENCH_PR5.json
+
+``--out`` records the perf trajectory (committed at the repo root);
+``--check`` re-runs the benchmarks and exits nonzero when any one's
+events/sec regressed more than ``--max-regression`` (default 20%) below
+the committed baseline — the CI perf-smoke gate (docs/PERFORMANCE.md).
+
+Also runs under pytest-benchmark with the rest of ``benchmarks/``; the
+pytest path additionally asserts the sanitizer cycle-identity contract
+on the fast-backend run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.collectives import CollectiveOp
+from repro.config import AllToAllShape, TorusShape
+from repro.config.units import KB, MB
+from repro.harness.runners import alltoall_platform, run_collective, torus_platform
+from repro.profiling import RunProfile, compare_bench, read_bench, write_bench
+
+#: Livelock guard only; these runs finish well below it.
+MAX_EVENTS = 50_000_000
+
+
+def _detailed_factory(events, network, sanitizer):
+    from repro.network.detailed.backend import DetailedBackend
+
+    return DetailedBackend(events, network, sanitizer=sanitizer)
+
+
+def _profile_collective(name: str, spec, op: CollectiveOp,
+                        size_bytes: float) -> tuple[RunProfile, float]:
+    """Build and run one collective under phase timing."""
+    profile = RunProfile(name=name)
+    with profile.phase("build"):
+        system = spec.build_system()
+    with profile.phase("simulate"):
+        collective = system.request_collective(op, size_bytes, name=op.value)
+        system.run_until_idle(max_events=MAX_EVENTS)
+    profile.record_system(system)
+    assert collective.done, f"{name}: collective never completed"
+    return profile, collective.duration_cycles
+
+
+def run_benchmarks() -> tuple[list[RunProfile], dict[str, float]]:
+    """The canonical macro-benchmarks; returns profiles + sim cycles."""
+    profiles: list[RunProfile] = []
+    cycles: dict[str, float] = {}
+
+    cases = [
+        ("fast_allreduce_2x4x4_4mb",
+         torus_platform(TorusShape(2, 4, 4)),
+         CollectiveOp.ALL_REDUCE, 4 * MB),
+        ("fast_alltoall_4x8_1mb",
+         alltoall_platform(AllToAllShape(local=4, packages=8)),
+         CollectiveOp.ALL_TO_ALL, 1 * MB),
+    ]
+    detailed = torus_platform(TorusShape(2, 2, 2), preferred_set_splits=4)
+    detailed.backend_factory = _detailed_factory
+    cases.append(("detailed_allreduce_2x2x2_64kb", detailed,
+                  CollectiveOp.ALL_REDUCE, 64 * KB))
+
+    for name, spec, op, size in cases:
+        profile, sim_cycles = _profile_collective(name, spec, op, size)
+        profiles.append(profile)
+        cycles[name] = sim_cycles
+    return profiles, cycles
+
+
+def assert_sanitizer_cycle_identity() -> None:
+    """The hot-path rewrites must be invisible to simulated time: the
+    same run under the runtime sanitizer lands on identical cycles."""
+    plain = run_collective(torus_platform(TorusShape(2, 4, 4)),
+                           CollectiveOp.ALL_REDUCE, 1 * MB)
+    checked = run_collective(torus_platform(TorusShape(2, 4, 4)),
+                             CollectiveOp.ALL_REDUCE, 1 * MB, sanitize=True)
+    assert plain.duration_cycles == checked.duration_cycles, (
+        f"sanitized run diverged: {plain.duration_cycles} vs "
+        f"{checked.duration_cycles}")
+
+
+# -- pytest-benchmark entry ---------------------------------------------------------
+
+
+def test_hot_path_bench(benchmark):
+    from bench_common import print_table, run_once
+
+    profiles, _cycles = run_once(benchmark, run_benchmarks)
+    rows = [{
+        "bench": p.name,
+        "wall s": p.total_seconds,
+        "events": p.events,
+        "events/sec": p.events_per_sec,
+    } for p in profiles]
+    print_table("Hot path: events/sec", rows)
+    assert_sanitizer_cycle_identity()
+    assert all(p.events_per_sec > 0 for p in profiles)
+
+
+# -- script entry -------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the bench document to PATH")
+    parser.add_argument("--check", default=None, metavar="BASELINE",
+                        help="compare a fresh run against BASELINE; exit 1 "
+                             "on any events/sec regression beyond "
+                             "--max-regression")
+    parser.add_argument("--max-regression", type=float, default=0.20)
+    parser.add_argument("--label", default="hot-path")
+    args = parser.parse_args(argv)
+
+    profiles, cycles = run_benchmarks()
+    for profile in profiles:
+        print(profile.format())
+        print(f"  sim cycles   {cycles[profile.name]:>14,.0f}")
+
+    rc = 0
+    doc = None
+    if args.check:
+        baseline = read_bench(args.check)
+        doc = {"benchmarks": [p.as_dict() for p in profiles]}
+        regressions = compare_bench(baseline, doc,
+                                    max_regression=args.max_regression)
+        for message in regressions:
+            print(f"REGRESSION: {message}", file=sys.stderr)
+        if regressions:
+            rc = 1
+        else:
+            print(f"perf gate OK: within {args.max_regression:.0%} of "
+                  f"{args.check}")
+    if args.out:
+        path = write_bench(args.out, [p.as_dict() for p in profiles],
+                           label=args.label)
+        print(f"bench written to {path}")
+    return rc
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

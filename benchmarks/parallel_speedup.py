@@ -1,0 +1,79 @@
+"""Fig. 9 sweep speedup gate: ``--jobs N`` vs serial, bit-identical.
+
+Runs the full Fig. 9 design-space sweep (both collectives, all four
+payload sizes, both topologies) serially and through an N-process
+executor, asserts every point's ``duration_cycles`` and delay breakdown
+are identical, and reports the wall-clock speedup.
+
+CI (perf-smoke, a 4-core runner) enforces ``--min-speedup 2.5``; on a
+single-core box run it with the default ``--min-speedup 0`` to check
+determinism only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness import fig09
+from repro.parallel import ParallelExecutor, set_default_executor
+
+
+def _run_with(jobs: int):
+    executor = ParallelExecutor(jobs=jobs)
+    set_default_executor(executor)
+    try:
+        start = time.perf_counter()
+        results = fig09.run_both()
+        # Timed region includes pool startup: the gate measures what a
+        # user actually gets from --jobs, fork overhead included.
+        return results, time.perf_counter() - start
+    finally:
+        set_default_executor(None)
+        executor.close()
+
+
+def _points(results):
+    for figure in results.values():
+        yield from figure.alltoall
+        yield from figure.torus
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--min-speedup", type=float, default=0.0,
+                        help="fail below this wall-clock speedup (0: only "
+                             "check determinism)")
+    args = parser.parse_args(argv)
+
+    serial, serial_s = _run_with(1)
+    parallel, parallel_s = _run_with(args.jobs)
+
+    mismatches = 0
+    for a, b in zip(_points(serial), _points(parallel)):
+        if (a.duration_cycles != b.duration_cycles
+                or a.breakdown.as_dict() != b.breakdown.as_dict()):
+            print(f"MISMATCH: {a.label} @ {a.size_bytes:,.0f} B: "
+                  f"{a.duration_cycles} vs {b.duration_cycles}",
+                  file=sys.stderr)
+            mismatches += 1
+    if mismatches:
+        print(f"{mismatches} point(s) diverged between jobs=1 and "
+              f"jobs={args.jobs}", file=sys.stderr)
+        return 1
+
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    print(f"fig09 sweep: jobs=1 {serial_s:.2f}s, jobs={args.jobs} "
+          f"{parallel_s:.2f}s -> {speedup:.2f}x speedup, all points "
+          f"bit-identical")
+    if speedup < args.min_speedup:
+        print(f"speedup {speedup:.2f}x below required "
+              f"{args.min_speedup:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

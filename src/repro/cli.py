@@ -30,7 +30,6 @@ from repro.config.units import MB
 from repro.errors import ConfigError, ReproError
 from repro.harness.runners import (
     alltoall_platform,
-    run_collective,
     run_training,
     torus_platform,
 )
@@ -155,6 +154,15 @@ def _print_transport_stats(stats) -> None:
         print(stats.summary())
 
 
+def _record_profile(system) -> None:
+    """Feed a finished system's event counters to the --profile output."""
+    from repro.profiling import active_profile
+
+    profile = active_profile()
+    if profile is not None and system is not None:
+        profile.record_system(system)
+
+
 def _print_resilience(system) -> None:
     monitor = getattr(system, "resilience", None)
     if monitor is None:
@@ -166,6 +174,21 @@ def _print_resilience(system) -> None:
         ckpt = monitor.resume_checkpoint
         print(f"resume verified: replay matched the checkpoint at "
               f"t={ckpt.cycle:,.0f} ({ckpt.events_processed} events)")
+
+
+def _add_execution_args(p: argparse.ArgumentParser) -> None:
+    """Mirror the root --jobs/--cache-dir/--no-cache/--profile flags on a
+    subcommand so they work in either position (``astra-repro chaos
+    --jobs 4`` and ``astra-repro --jobs 4 chaos``).  SUPPRESS defaults:
+    an omitted subcommand flag must not clobber a root-level value."""
+    p.add_argument("--jobs", type=int, metavar="N", default=argparse.SUPPRESS,
+                   help="worker processes for independent simulation points")
+    p.add_argument("--cache-dir", metavar="DIR", default=argparse.SUPPRESS,
+                   help="content-addressed run cache directory")
+    p.add_argument("--no-cache", action="store_true", default=argparse.SUPPRESS,
+                   help="ignore --cache-dir (always simulate fresh)")
+    p.add_argument("--profile", action="store_true", default=argparse.SUPPRESS,
+                   help="print per-phase wall-clock and events/sec")
 
 
 def _add_platform_args(p: argparse.ArgumentParser) -> None:
@@ -226,6 +249,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
     report, system = run_training(model, platform, num_iterations=args.num_passes,
                                   sanitize=args.sanitize)
     print(RunSummary.from_report(report).format())
+    _record_profile(system)
     _print_transport_stats(system.transport_stats())
     _print_resilience(system)
     if args.layer_table:
@@ -238,11 +262,17 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
 
 def _cmd_collective(args: argparse.Namespace) -> int:
-    platform = _build_platform(args)
-    result = run_collective(platform, _OPS[args.op], args.size_mb * MB,
-                            sanitize=args.sanitize)
+    from repro.parallel import RunPoint, default_executor
+
+    # One design-space point through the executor: pure runs hit the
+    # --cache-dir store; anything impure (faults, resilience, transport,
+    # --sanitize) executes fresh in-process with its system kept live.
+    point = RunPoint(builder=lambda: _build_platform(args), op=_OPS[args.op],
+                     size_bytes=args.size_mb * MB, sanitize=args.sanitize)
+    result = default_executor().run_points([point])[0]
     print(f"{args.op} of {args.size_mb} MB on {result.label} "
           f"({result.num_npus} NPUs): {result.duration_cycles:,.0f} cycles")
+    _record_profile(result.system)
     _print_transport_stats(result.transport_stats)
     _print_resilience(result.system)
     if args.breakdown:
@@ -337,9 +367,23 @@ def build_arg_parser() -> argparse.ArgumentParser:
         prog="astra-repro",
         description="ASTRA-SIM reproduction: distributed DL training simulator",
     )
+    root.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="fan independent simulation points (sweep sizes, "
+                           "chaos iterations) across N worker processes; "
+                           "results are bit-identical at any N")
+    root.add_argument("--cache-dir", default=None, metavar="DIR",
+                      help="content-addressed run cache: completed pure "
+                           "points are stored in DIR and re-served instead "
+                           "of re-simulated (docs/PERFORMANCE.md)")
+    root.add_argument("--no-cache", action="store_true",
+                      help="ignore --cache-dir (always simulate fresh)")
+    root.add_argument("--profile", action="store_true",
+                      help="print per-phase wall-clock and events/sec after "
+                           "the command")
     sub = root.add_subparsers(dest="command", required=True)
 
     train = sub.add_parser("train", help="simulate a DNN training workload")
+    _add_execution_args(train)
     _add_platform_args(train)
     train.add_argument("--model", choices=sorted(_MODELS), default="resnet50",
                        help="predefined DNN workload (Table III #1)")
@@ -354,6 +398,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     train.set_defaults(func=_cmd_train)
 
     coll = sub.add_parser("collective", help="time a single collective operation")
+    _add_execution_args(coll)
     _add_platform_args(coll)
     coll.add_argument("--op", choices=sorted(_OPS), default="allreduce")
     coll.add_argument("--size-mb", type=float, default=8.0,
@@ -363,6 +408,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
 
     bw = sub.add_parser("bandwidth",
                         help="collective bandwidth test (algbw/busbw table)")
+    _add_execution_args(bw)
     _add_platform_args(bw)
     bw.add_argument("--op", choices=sorted(_OPS), default="allreduce")
     bw.add_argument("--sizes-mb", default="0.0625,0.5,4,32",
@@ -387,6 +433,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="fuzz seeded fault schedules + transport configs; every run "
              "must end classified (success / graceful failure / diagnosed "
              "stall), never in a silent hang")
+    _add_execution_args(chaos)
     chaos.add_argument("--iterations", type=int, default=25,
                        help="fuzzed runs (round-robin across --backends)")
     chaos.add_argument("--seed", type=int, default=0,
@@ -417,11 +464,32 @@ def build_arg_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_arg_parser().parse_args(argv)
+
+    from repro.parallel import configure_default, set_default_executor
+    from repro.profiling import RunProfile, set_active_profile
+
+    executor = configure_default(jobs=args.jobs, cache_dir=args.cache_dir,
+                                 use_cache=not args.no_cache)
+    profile = RunProfile(name=args.command) if args.profile else None
+    set_active_profile(profile)
     try:
-        return args.func(args)
+        if profile is not None:
+            with profile.phase("command"):
+                rc = args.func(args)
+        else:
+            rc = args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        set_default_executor(None)
+        executor.close()
+        set_active_profile(None)
+    if executor.cache is not None:
+        print(executor.cache_summary())
+    if profile is not None:
+        print(profile.format())
+    return rc
 
 
 if __name__ == "__main__":

@@ -41,6 +41,24 @@ class PhaseStats:
     def mean_network_cycles(self) -> float:
         return self.network_cycles / self.messages if self.messages else 0.0
 
+    def as_dict(self) -> dict:
+        """JSON-serializable form (run-cache payloads, bench reports)."""
+        return {
+            "messages": self.messages,
+            "queue_cycles": self.queue_cycles,
+            "network_cycles": self.network_cycles,
+            "bytes": self.bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PhaseStats":
+        return cls(
+            messages=int(data["messages"]),
+            queue_cycles=float(data["queue_cycles"]),
+            network_cycles=float(data["network_cycles"]),
+            bytes=float(data["bytes"]),
+        )
+
 
 class CollectiveContext:
     """Wiring between collective state machines and the platform.

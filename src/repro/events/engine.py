@@ -23,12 +23,14 @@ from repro.errors import SimulationError
 EventCallback = Callable[[], None]
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class _ScheduledEvent:
     """Internal heap entry.
 
     Ordered by (time, sequence) so that events scheduled for the same time
     fire in the order they were scheduled (deterministic FIFO tie-break).
+    ``slots=True``: millions of these live in the heap of a long run, and
+    the hot loop touches ``.time``/``.cancelled`` on every pop.
     """
 
     time: float
@@ -153,13 +155,42 @@ class EventQueue:
         Heap order is (time, seq); both survive compaction unchanged, so
         the executed event sequence — and therefore the simulation — is
         byte-for-byte identical with or without compaction.
+
+        Compaction mutates the heap list *in place* (slice assignment):
+        :meth:`run` hoists a reference to the list for the hot loop, and
+        a compaction triggered from inside an event callback must be
+        visible through that reference.
         """
         if self._cancelled_in_heap == 0:
             return
-        self._heap = [event for event in self._heap if not event.cancelled]
+        self._heap[:] = [event for event in self._heap if not event.cancelled]
         heapq.heapify(self._heap)
         self._cancelled_in_heap = 0
         self._compactions += 1
+
+    def _peek_live(self) -> Optional[_ScheduledEvent]:
+        """The next live event, dropping cancelled heads along the way.
+
+        The *only* place cancelled entries leave the heap outside
+        :meth:`compact` — :meth:`step` and :meth:`run` both pop through
+        here, so the ``pending``/compaction bookkeeping cannot drift
+        between the two drain paths.  The returned event is left on the
+        heap (callers pop it when they commit to executing it).
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        dropped = 0
+        while heap:
+            head = heap[0]
+            if not head.cancelled:
+                if dropped:
+                    self._cancelled_in_heap -= dropped
+                return head
+            pop(heap)
+            dropped += 1
+        if dropped:
+            self._cancelled_in_heap -= dropped
+        return None
 
     def schedule_at(self, time: float, callback: EventCallback) -> EventHandle:
         """Schedule ``callback`` to fire at absolute simulated ``time``."""
@@ -190,19 +221,17 @@ class EventQueue:
         in-flight send at the same cycle resolves in schedule order,
         deterministically.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                self._cancelled_in_heap -= 1
-                continue
-            self._now = event.time
-            self._events_processed += 1
-            event.fired = True
-            event.callback()
-            if self.watcher is not None:
-                self.watcher(self)
-            return True
-        return False
+        event = self._peek_live()
+        if event is None:
+            return False
+        heapq.heappop(self._heap)
+        self._now = event.time
+        self._events_processed += 1
+        event.fired = True
+        event.callback()
+        if self.watcher is not None:
+            self.watcher(self)
+        return True
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run until the queue drains, ``until`` is reached, or ``max_events``.
@@ -215,13 +244,36 @@ class EventQueue:
             raise SimulationError("EventQueue.run() is not re-entrant")
         self._running = True
         executed = 0
+        # Hot loop: hoist everything invariant out of the per-event path.
+        # ``heap`` stays valid across callbacks because compact() mutates
+        # the list in place, and schedule_at() pushes into the same list.
+        heap = self._heap
+        pop = heapq.heappop
+        peek_live = self._peek_live
         try:
-            while self._heap:
-                head = self._heap[0]
-                if head.cancelled:
-                    heapq.heappop(self._heap)
-                    self._cancelled_in_heap -= 1
-                    continue
+            if type(self).step is not EventQueue.step:
+                # A subclass instrumented the per-event path (e.g. the
+                # runtime sanitizer's time-travel/livelock checks); route
+                # every execution through its step() override instead of
+                # the inlined fast loop below.
+                step = self.step
+                while True:
+                    head = peek_live()
+                    if head is None:
+                        return
+                    if until is not None and head.time > until:
+                        self._now = max(self._now, until)
+                        return
+                    if max_events is not None and executed >= max_events:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events} (possible livelock)"
+                        )
+                    step()
+                    executed += 1
+            while True:
+                head = peek_live()
+                if head is None:
+                    return
                 if until is not None and head.time > until:
                     # Never rewind: run(until=past) must not move time back.
                     self._now = max(self._now, until)
@@ -230,8 +282,15 @@ class EventQueue:
                     raise SimulationError(
                         f"exceeded max_events={max_events} (possible livelock)"
                     )
-                if self.step():
-                    executed += 1
+                pop(heap)
+                self._now = head.time
+                self._events_processed += 1
+                head.fired = True
+                head.callback()
+                watcher = self.watcher
+                if watcher is not None:
+                    watcher(self)
+                executed += 1
         finally:
             self._running = False
 

@@ -22,9 +22,9 @@ from repro.harness.runners import (
     SWEEP_SIZES,
     CollectiveResult,
     alltoall_platform,
-    sweep_collective,
     torus_platform,
 )
+from repro.parallel import RunPoint, default_executor
 
 PACKAGES = 8
 
@@ -63,18 +63,39 @@ def _torus():
     )
 
 
+def _points(sizes: Sequence[float], collective: CollectiveOp) -> list[RunPoint]:
+    """Both topologies' sweep points, alltoall block first then torus."""
+    return [RunPoint(builder=builder, op=collective, size_bytes=float(size))
+            for builder in (_alltoall, _torus) for size in sizes]
+
+
+def _split(collective: CollectiveOp, sizes: Sequence[float],
+           results: list[CollectiveResult]) -> Figure9Result:
+    n = len(sizes)
+    return Figure9Result(collective=collective,
+                         alltoall=results[:n], torus=results[n:])
+
+
 def run(sizes: Sequence[float] = SWEEP_SIZES,
         collective: CollectiveOp = CollectiveOp.ALL_REDUCE) -> Figure9Result:
-    """Run one of the two Fig. 9 panels ((a) all-to-all, (b) all-reduce)."""
-    return Figure9Result(
-        collective=collective,
-        alltoall=sweep_collective(_alltoall, collective, sizes),
-        torus=sweep_collective(_torus, collective, sizes),
-    )
+    """Run one of the two Fig. 9 panels ((a) all-to-all, (b) all-reduce).
+
+    Both topologies' points go to the executor as one batch so ``--jobs``
+    overlaps them instead of parallelizing each 4-point sweep alone.
+    """
+    sizes = list(sizes)
+    results = default_executor().run_points(_points(sizes, collective))
+    return _split(collective, sizes, results)
 
 
 def run_both(sizes: Sequence[float] = SWEEP_SIZES) -> dict[str, Figure9Result]:
+    """Both panels, all 2 collectives x 2 topologies x sizes in one batch."""
+    sizes = list(sizes)
+    points = (_points(sizes, CollectiveOp.ALL_TO_ALL)
+              + _points(sizes, CollectiveOp.ALL_REDUCE))
+    results = default_executor().run_points(points)
+    half = 2 * len(sizes)
     return {
-        "all_to_all": run(sizes, CollectiveOp.ALL_TO_ALL),
-        "all_reduce": run(sizes, CollectiveOp.ALL_REDUCE),
+        "all_to_all": _split(CollectiveOp.ALL_TO_ALL, sizes, results[:half]),
+        "all_reduce": _split(CollectiveOp.ALL_REDUCE, sizes, results[half:]),
     }

@@ -13,6 +13,7 @@ lower volume (28/8 N vs 36/8 N) dominates.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -71,8 +72,11 @@ def run(
     collective: CollectiveOp = CollectiveOp.ALL_REDUCE,
     shapes: Sequence[TorusShape] = SHAPES,
 ) -> Figure10Result:
+    # functools.partial over the module-level builder (not a lambda) so
+    # the points stay picklable for process-parallel execution.
     by_shape = {
-        str(shape): sweep_collective(lambda s=shape: _platform(s), collective, sizes)
+        str(shape): sweep_collective(
+            functools.partial(_platform, shape), collective, sizes)
         for shape in shapes
     }
     return Figure10Result(collective=collective, by_shape=by_shape)

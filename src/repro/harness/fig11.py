@@ -16,6 +16,7 @@ algorithm improves further by cutting inter-package volume 4x.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -68,14 +69,19 @@ def run(
     sizes: Sequence[float] = SWEEP_SIZES,
     collective: CollectiveOp = CollectiveOp.ALL_REDUCE,
 ) -> Figure11Result:
+    # functools.partial over the module-level builder (not a lambda) so
+    # the points stay picklable for process-parallel execution.
     return Figure11Result(
         collective=collective,
         symmetric=sweep_collective(
-            lambda: _platform(True, CollectiveAlgorithm.BASELINE), collective, sizes),
+            functools.partial(_platform, True, CollectiveAlgorithm.BASELINE),
+            collective, sizes),
         asymmetric_baseline=sweep_collective(
-            lambda: _platform(False, CollectiveAlgorithm.BASELINE), collective, sizes),
+            functools.partial(_platform, False, CollectiveAlgorithm.BASELINE),
+            collective, sizes),
         asymmetric_enhanced=sweep_collective(
-            lambda: _platform(False, CollectiveAlgorithm.ENHANCED), collective, sizes),
+            functools.partial(_platform, False, CollectiveAlgorithm.ENHANCED),
+            collective, sizes),
     )
 
 

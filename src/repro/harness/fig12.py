@@ -14,13 +14,14 @@ dominant at 2x4x4) — then jumps again at 2x4x8 (a new ring of 8).
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Sequence
 
 from repro.collectives.types import CollectiveOp
 from repro.config.parameters import CollectiveAlgorithm, TorusShape
 from repro.config.units import MB
-from repro.harness.runners import CollectiveResult, run_collective, torus_platform
+from repro.harness.runners import CollectiveResult, torus_platform
 
 SHAPES = (
     TorusShape(2, 2, 2),
@@ -49,18 +50,26 @@ class Figure12Result:
         return {r.label: r.breakdown.rows() for r in self.results}
 
 
+def _platform(shape: TorusShape):
+    return torus_platform(
+        shape,
+        algorithm=CollectiveAlgorithm.ENHANCED,
+        local_rings=2,
+        horizontal_rings=2,
+        vertical_rings=2,
+    )
+
+
 def run(
     size_bytes: float = DEFAULT_SIZE,
     shapes: Sequence[TorusShape] = SHAPES,
 ) -> Figure12Result:
-    results = []
-    for shape in shapes:
-        platform = torus_platform(
-            shape,
-            algorithm=CollectiveAlgorithm.ENHANCED,
-            local_rings=2,
-            horizontal_rings=2,
-            vertical_rings=2,
-        )
-        results.append(run_collective(platform, CollectiveOp.ALL_REDUCE, size_bytes))
-    return Figure12Result(size_bytes=size_bytes, results=results)
+    from repro.parallel import RunPoint, default_executor
+
+    points = [
+        RunPoint(builder=functools.partial(_platform, shape),
+                 op=CollectiveOp.ALL_REDUCE, size_bytes=float(size_bytes))
+        for shape in shapes
+    ]
+    return Figure12Result(size_bytes=size_bytes,
+                          results=default_executor().run_points(points))

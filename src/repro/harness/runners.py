@@ -208,9 +208,22 @@ def sweep_collective(
     platform_builder: Callable[[], PlatformSpec],
     op: CollectiveOp,
     sizes: Sequence[float] = SWEEP_SIZES,
+    executor: Optional[object] = None,
 ) -> list[CollectiveResult]:
-    """Run ``op`` across message sizes, one fresh platform per point."""
-    return [run_collective(platform_builder(), op, size) for size in sizes]
+    """Run ``op`` across message sizes, one fresh platform per point.
+
+    Points go through a :class:`repro.parallel.ParallelExecutor` — the
+    one passed in, else the process-wide default (serial and uncached
+    unless the CLI installed one via ``--jobs``/``--cache-dir``).  Results
+    come back in size order regardless of job count, bit-identical to the
+    serial loop this used to be.
+    """
+    from repro.parallel import RunPoint, default_executor
+
+    ex = executor if executor is not None else default_executor()
+    points = [RunPoint(builder=platform_builder, op=op, size_bytes=float(size))
+              for size in sizes]
+    return ex.run_points(points)
 
 
 def run_training(

@@ -43,8 +43,14 @@ def sweep(
     values: Sequence,
     run: Callable[[object], float],
     metric: str = "cycles",
+    executor=None,
 ) -> SweepResult:
     """Evaluate ``run(value)`` for every value, collecting ``metric``.
+
+    When an ``executor`` (:class:`repro.parallel.ParallelExecutor`) is
+    given, points fan out through its ordered :meth:`map` — a ``run``
+    that is not picklable (e.g. a closure) transparently falls back to
+    the serial loop, with identical results either way.
 
     >>> result = sweep("chunks", [1, 2], lambda c: 100.0 / c)
     >>> result.argmin()
@@ -53,8 +59,11 @@ def sweep(
     if not values:
         raise ReproError("sweep needs at least one value")
     result = SweepResult(parameter=parameter, metric=metric)
-    for value in values:
-        measured = run(value)
+    if executor is not None:
+        measured_values = executor.map(run, list(values))
+    else:
+        measured_values = [run(value) for value in values]
+    for value, measured in zip(values, measured_values):
         if measured is None:
             raise ReproError(f"run({value!r}) returned no metric")
         result.rows.append({parameter: value, metric: float(measured)})

@@ -43,6 +43,12 @@ class RingChannel:
         self.links = list(links)
         self.name = name
         self._index = {node: i for i, node in enumerate(self.nodes)}
+        #: Per-(src, dst) route cache: ring collectives request the same
+        #: handful of paths once per message, and rebuilding the hop list
+        #: is pure modular arithmetic over immutable state — cache it.
+        #: Callers must treat returned paths as read-only (they do: paths
+        #: are only iterated by the backends and the transport).
+        self._path_cache: dict[tuple[int, int], list[Link]] = {}
         #: A counter-rotating ring over the same nodes, when the fabric
         #: provides one (see :func:`pair_reverse_rings`).  Ring collectives
         #: use it to reroute around a permanently dead link.
@@ -73,12 +79,17 @@ class RingChannel:
         return self.links[self.position(node)]
 
     def path(self, src: int, dst: int) -> list[Link]:
-        """Consecutive downstream links from ``src`` to ``dst``."""
+        """Consecutive downstream links from ``src`` to ``dst`` (cached)."""
+        cached = self._path_cache.get((src, dst))
+        if cached is not None:
+            return cached
         i, j = self.position(src), self.position(dst)
         if i == j:
             raise NetworkError(f"path src == dst == {src}")
         hops = (j - i) % self.size
-        return [self.links[(i + k) % self.size] for k in range(hops)]
+        path = [self.links[(i + k) % self.size] for k in range(hops)]
+        self._path_cache[(src, dst)] = path
+        return path
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RingChannel({self.name}, nodes={self.nodes})"
@@ -142,19 +153,26 @@ class SwitchChannel:
         self.uplinks = dict(uplinks)
         self.downlinks = dict(downlinks)
         self.name = name
+        #: Per-(src, dst) route cache; see :class:`RingChannel`.
+        self._path_cache: dict[tuple[int, int], list[Link]] = {}
 
     @property
     def size(self) -> int:
         return len(self.nodes)
 
     def path(self, src: int, dst: int) -> list[Link]:
+        cached = self._path_cache.get((src, dst))
+        if cached is not None:
+            return cached
         if src == dst:
             raise NetworkError(f"path src == dst == {src}")
         if src not in self.uplinks:
             raise TopologyError(f"node {src} not attached to switch {self.switch_id}")
         if dst not in self.downlinks:
             raise TopologyError(f"node {dst} not attached to switch {self.switch_id}")
-        return [self.uplinks[src], self.downlinks[dst]]
+        path = [self.uplinks[src], self.downlinks[dst]]
+        self._path_cache[(src, dst)] = path
+        return path
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SwitchChannel({self.name}, switch={self.switch_id}, nodes={self.nodes})"

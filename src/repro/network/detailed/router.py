@@ -63,6 +63,12 @@ class TxPort:
         #: Optional conservation observer (repro.sanitize.runtime); ``None``
         #: on the default path so instrumentation costs one attribute test.
         self.observer = None
+        # Per-flit bandwidth memo keyed on config identity (fault-driven
+        # degrades replace link.config, invalidating it) — this port
+        # transmits every flit of every message crossing its link, so the
+        # GB/s -> bytes/cycle derivation must not run per flit.
+        self._bpc_config = None
+        self._bytes_per_cycle = 0.0
 
     # -- queue interface --------------------------------------------------------
 
@@ -117,15 +123,20 @@ class TxPort:
             ctx.upstream.release_credit(vc)
 
         # Serialization: efficiency models the header phits per flit.
-        bytes_per_cycle = self.link.config.effective_bytes_per_cycle(self.link.clock)
-        ser = max(flit.size_bytes, 1.0) / bytes_per_cycle
+        link = self.link
+        config = link.config
+        if config is not self._bpc_config:
+            self._bytes_per_cycle = config.effective_bytes_per_cycle(link.clock)
+            self._bpc_config = config
+        ser = max(flit.size_bytes, 1.0) / self._bytes_per_cycle
         self.flits_sent += 1
-        self.link.stats.bytes += flit.size_bytes
-        self.link.stats.busy_cycles += ser
+        stats = link.stats
+        stats.bytes += flit.size_bytes
+        stats.busy_cycles += ser
 
         self.events.schedule(ser, self._tx_done)
         self.events.schedule(
-            ser + self.link.config.latency_cycles,
+            ser + config.latency_cycles,
             lambda: self._arrive(flit, ctx),
         )
 

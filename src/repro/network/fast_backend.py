@@ -31,18 +31,27 @@ class FastBackend(NetworkBackend):
     def send(self, message: Message, path: list[Link], on_delivered: DeliveryCallback) -> None:
         validate_path(message, path)
         self._record_send(message)
-        message.created_at = self.now
-        if self._drop_if_faulty(message, path):
+        now = self.events.now
+        message.created_at = now
+        if self.faults is not None and self._drop_if_faulty(message, path):
             return
 
         # Reserve each hop in order; hop k may begin once the head of the
         # message has arrived at its input (packet-pipelined forwarding).
-        arrival = self.now
+        # Loop-invariant lookups are hoisted: this method runs once per
+        # message and dominates the fast backend's per-send cost.
+        router_latency = self.network.router_latency_cycles
+        size_bytes = message.size_bytes
+        arrival = now
         injected = None
+        # validate_path guarantees a non-empty path, but keep last_tail
+        # bound regardless so a degenerate path can never surface as an
+        # UnboundLocalError two statements later.
+        last_tail = now
         for hop, link in enumerate(path):
             if hop > 0:
-                arrival += self.network.router_latency_cycles
-            start, head, tail = link.reserve(arrival, message.size_bytes)
+                arrival += router_latency
+            start, head, tail = link.reserve(arrival, size_bytes)
             if injected is None:
                 injected = start
             # The next hop can start serializing when the first packet has
@@ -53,11 +62,12 @@ class FastBackend(NetworkBackend):
             arrival = head
             last_tail = tail
 
-        message.injected_at = injected if injected is not None else self.now
-        message.delivered_at = max(last_tail, arrival)
+        message.injected_at = injected if injected is not None else now
+        delivered_at = max(last_tail, arrival)
+        message.delivered_at = delivered_at
 
         def deliver() -> None:
             self._record_delivery(message)
             on_delivered(message)
 
-        self.events.schedule_at(message.delivered_at, deliver)
+        self.events.schedule_at(delivered_at, deliver)

@@ -38,7 +38,7 @@ class Link:
     """
 
     __slots__ = ("link_id", "src", "dst", "config", "kind", "clock",
-                 "next_free", "stats")
+                 "next_free", "stats", "_ser_config", "_bytes_per_cycle")
 
     def __init__(
         self,
@@ -59,9 +59,30 @@ class Link:
         #: Earliest time the link can accept the next message.
         self.next_free = 0.0
         self.stats = LinkStats()
+        # Bandwidth memo, keyed on config object identity: fault injection
+        # replaces ``config`` wholesale (repro.network.faults.degrade_link),
+        # which invalidates the memo on the next call.
+        self._ser_config: LinkConfig | None = None
+        self._bytes_per_cycle = 0.0
 
     def serialization_cycles(self, size_bytes: float) -> float:
-        return self.config.serialization_cycles(size_bytes, self.clock)
+        """Cycles to push ``size_bytes`` through this link (memoized BW).
+
+        Same result as ``config.serialization_cycles(size_bytes, clock)``
+        — this is the per-reserve hot path, so the effective bytes/cycle
+        figure is cached instead of being rederived per message.
+        """
+        if size_bytes < 0:
+            raise NetworkError(f"message size must be >= 0: {size_bytes}")
+        config = self.config
+        if config is not self._ser_config:
+            self._bytes_per_cycle = config.effective_bytes_per_cycle(self.clock)
+            self._ser_config = config
+        wire = size_bytes / self._bytes_per_cycle
+        quantum = config.message_quantum_bytes
+        if quantum is None or size_bytes == 0:
+            return wire
+        return wire + -(-size_bytes // quantum) * config.quantum_overhead_cycles
 
     def reserve(self, at: float, size_bytes: float) -> tuple[float, float, float]:
         """Reserve the link for one message arriving at time ``at``.
@@ -73,17 +94,20 @@ class Link:
         """
         if size_bytes < 0:
             raise NetworkError(f"size must be >= 0: {size_bytes}")
+        config = self.config
+        latency = config.latency_cycles
         start = max(at, self.next_free)
         ser = self.serialization_cycles(size_bytes)
-        first_packet = min(size_bytes, float(self.config.packet_size_bytes))
-        head_arrival = start + self.serialization_cycles(first_packet) + self.config.latency_cycles
-        tail_arrival = start + ser + self.config.latency_cycles
+        first_packet = min(size_bytes, float(config.packet_size_bytes))
+        head_arrival = start + self.serialization_cycles(first_packet) + latency
+        tail_arrival = start + ser + latency
         self.next_free = start + ser
 
-        self.stats.messages += 1
-        self.stats.bytes += size_bytes
-        self.stats.busy_cycles += ser
-        self.stats.queue_cycles += start - at
+        stats = self.stats
+        stats.messages += 1
+        stats.bytes += size_bytes
+        stats.busy_cycles += ser
+        stats.queue_cycles += start - at
         return start, head_arrival, tail_arrival
 
     def reset(self) -> None:

@@ -16,7 +16,7 @@ from repro.errors import NetworkError
 _message_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """One network-layer transfer between two endpoints.
 
@@ -24,6 +24,11 @@ class Message:
     (chunk id, phase, step) so receivers can demultiplex.  Timing fields
     are filled in by the backend as the message progresses and feed the
     queue/network delay breakdowns of Fig. 12b / Fig. 16.
+
+    ``slots=True``: a collective run creates one of these per step per
+    peer per chunk, and the backends touch the timing fields on every
+    send/delivery — slotted instances are smaller and attribute access
+    skips the instance dict.
     """
 
     src: int

@@ -1,0 +1,47 @@
+"""Parallel design-space execution: process pools + content-addressed cache.
+
+Two pieces (docs/PERFORMANCE.md):
+
+* :class:`ParallelExecutor` — runs independent design-space points
+  across a process pool (``jobs > 1``) or deterministically in-process
+  (``jobs = 1``), preserving input order and bit-identical per-point
+  results either way.
+* :class:`RunCache` — a content-addressed store keyed on the canonical
+  simulation config + topology + op + size + backend + code salt, so
+  repeated points across figures and re-runs are free.
+
+The CLI's global ``--jobs`` / ``--cache-dir`` / ``--no-cache`` flags
+configure a process-wide default executor that the harness entry points
+(:func:`repro.harness.runners.sweep_collective`, the per-figure
+runners, ``astra-repro chaos``) pick up implicitly.
+"""
+
+from repro.parallel.cache import (
+    CACHE_SALT,
+    CacheStats,
+    RunCache,
+    collective_cache_key,
+    payload_to_result,
+    result_to_payload,
+)
+from repro.parallel.executor import (
+    ParallelExecutor,
+    RunPoint,
+    configure_default,
+    default_executor,
+    set_default_executor,
+)
+
+__all__ = [
+    "CACHE_SALT",
+    "CacheStats",
+    "ParallelExecutor",
+    "RunCache",
+    "RunPoint",
+    "collective_cache_key",
+    "configure_default",
+    "default_executor",
+    "payload_to_result",
+    "result_to_payload",
+    "set_default_executor",
+]

@@ -1,0 +1,245 @@
+"""Process-parallel experiment execution with deterministic results.
+
+Every design-space point (one :class:`~repro.harness.runners.PlatformSpec`
+x collective x payload) is an independent simulation, so the harnesses
+can fan points out across CPU cores — the simulations themselves are
+single-threaded Python, which makes process pools the only way to make
+exploration wall-clock-bound by cores instead of by the interpreter.
+
+Determinism contract: a point's result depends only on the point (no
+process-global counter leaks into simulated timing — asserted by the
+serial-vs-parallel tests), so ``jobs=4`` produces bit-identical
+``duration_cycles`` and breakdowns to ``jobs=1``, in the same stable
+input order.  ``jobs=1`` never touches a pool: it runs points in-process
+in order, exactly like the pre-parallel harness loop.
+
+Points whose builder cannot be pickled (e.g. an ad-hoc closure) degrade
+gracefully: they run in the parent process while everything picklable
+runs in the pool.
+
+A :class:`~repro.parallel.cache.RunCache` can front the executor: cached
+points are never executed (or even dispatched), and fresh results are
+stored on the way out.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.parallel.cache import (
+    RunCache,
+    collective_cache_key,
+    payload_to_result,
+    result_to_payload,
+)
+
+
+@dataclass(frozen=True)
+class RunPoint:
+    """One design-space point: build a platform, run one collective.
+
+    ``builder`` is a zero-argument callable returning a fresh
+    :class:`~repro.harness.runners.PlatformSpec`.  For process-parallel
+    execution it must be picklable — a module-level function or a
+    ``functools.partial`` over one (the per-figure harnesses provide
+    exactly that); anything else silently falls back to in-process
+    execution.
+    """
+
+    builder: Callable[[], Any]
+    op: Any
+    size_bytes: float
+    max_events: Optional[int] = None
+    sanitize: bool = False
+
+
+def _execute_point(point: RunPoint, keep_system: bool = False) -> Any:
+    """Run one point to completion (worker-process entry).
+
+    By default the :class:`CollectiveResult` comes back with ``system``
+    stripped — the live system holds the event queue's closures and
+    cannot (and should not) cross a process boundary.  In-process
+    execution passes ``keep_system=True`` so callers that need the
+    finished system (CLI resilience/profile reporting) still get it.
+    """
+    from repro.harness.runners import MAX_EVENTS, run_collective
+
+    max_events = point.max_events if point.max_events is not None else MAX_EVENTS
+    result = run_collective(point.builder(), point.op, point.size_bytes,
+                            max_events=max_events, sanitize=point.sanitize)
+    return result if keep_system else replace(result, system=None)
+
+
+def _is_picklable(obj: Any) -> bool:
+    try:
+        pickle.dumps(obj)
+        return True
+    except Exception:
+        return False
+
+
+class ParallelExecutor:
+    """Runs independent simulation points, optionally across processes.
+
+    >>> ex = ParallelExecutor(jobs=1)
+    >>> ex.map(abs, [-2, -1, 3])
+    [2, 1, 3]
+    """
+
+    def __init__(self, jobs: int = 1, cache: Optional[RunCache] = None):
+        if jobs < 1:
+            raise ReproError(f"executor jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = cache
+        #: Simulations actually executed (cache hits excluded).
+        self.simulations_run = 0
+        # The worker pool is created lazily on the first parallel batch
+        # and *reused* across run_points()/map() calls: a figure harness
+        # issues several sweeps back-to-back, and re-forking workers per
+        # sweep would eat most of the speedup on short sweeps.
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def _get_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent; pool respawns on use)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- collective points --------------------------------------------------------
+
+    def run_points(self, points: Sequence[RunPoint]) -> list[Any]:
+        """Execute every point; results in input order, cache consulted.
+
+        Cache hits are rebuilt from their stored payload without running
+        (or dispatching) anything; misses execute — in-process for
+        ``jobs=1``, across a process pool otherwise — and are stored.
+        """
+        points = list(points)
+        results: list[Any] = [None] * len(points)
+        keys: dict[int, str] = {}
+        pending: list[tuple[int, RunPoint]] = []
+
+        for i, point in enumerate(points):
+            key = self._key_for(point)
+            if key is not None:
+                payload = self.cache.get(key)  # type: ignore[union-attr]
+                if payload is not None:
+                    results[i] = payload_to_result(payload)
+                    continue
+                keys[i] = key
+            pending.append((i, point))
+
+        if pending:
+            self._execute_pending(pending, results)
+            for i, key in keys.items():
+                if results[i] is not None:
+                    self.cache.put(key, result_to_payload(results[i], key))  # type: ignore[union-attr]
+        return results
+
+    def _key_for(self, point: RunPoint) -> Optional[str]:
+        """Cache key for ``point``, or None (cache off / point impure).
+
+        Builds the spec once in the parent purely for keying — spec
+        construction is cheap (dataclasses only; the topology is not
+        built until the run itself).
+        """
+        if self.cache is None or point.sanitize:
+            return None
+        return collective_cache_key(point.builder(), point.op, point.size_bytes)
+
+    def _execute_pending(self, pending: list[tuple[int, RunPoint]],
+                         results: list[Any]) -> None:
+        if self.jobs == 1 or len(pending) == 1:
+            for i, point in pending:
+                results[i] = _execute_point(point, keep_system=True)
+                self.simulations_run += 1
+            return
+
+        remote = [(i, p) for i, p in pending if _is_picklable(p)]
+        local = [(i, p) for i, p in pending if not _is_picklable(p)]
+        if remote:
+            pool = self._get_pool()
+            futures = {pool.submit(_execute_point, point): i
+                       for i, point in remote}
+            for future in futures:
+                results[futures[future]] = future.result()
+                self.simulations_run += 1
+        for i, point in local:
+            results[i] = _execute_point(point, keep_system=True)
+            self.simulations_run += 1
+
+    # -- generic ordered map ------------------------------------------------------
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> list[Any]:
+        """``[fn(x) for x in items]``, fanned across processes when possible.
+
+        Results keep input order regardless of completion order.  Falls
+        back to the in-process loop when ``jobs=1``, for a single item,
+        or when ``fn``/an item cannot be pickled — the fallback is
+        exactly the serial loop, so results never depend on the path
+        taken (asserted by the chaos job-count tests).
+        """
+        items = list(items)
+        if self.jobs == 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        if not _is_picklable(fn) or not all(_is_picklable(it) for it in items):
+            return [fn(item) for item in items]
+        results: list[Any] = [None] * len(items)
+        pool = self._get_pool()
+        futures = {pool.submit(fn, item): i for i, item in enumerate(items)}
+        not_done = set(futures)
+        while not_done:
+            done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+            for future in done:
+                results[futures[future]] = future.result()
+        return results
+
+    def cache_summary(self) -> Optional[str]:
+        return self.cache.summary() if self.cache is not None else None
+
+
+# -- process-global default executor ----------------------------------------------
+#
+# The CLI configures one executor from its global --jobs/--cache-dir
+# flags; harness entry points (sweep_collective, the fig runners, chaos)
+# pick it up implicitly so every layer that fans out work parallelizes
+# without threading an executor argument through every call site.
+
+_default_executor: Optional[ParallelExecutor] = None
+
+
+def set_default_executor(executor: Optional[ParallelExecutor]) -> None:
+    """Install (or clear, with ``None``) the process-wide default."""
+    global _default_executor
+    _default_executor = executor
+
+
+def default_executor() -> ParallelExecutor:
+    """The installed default, or a fresh serial/no-cache executor."""
+    if _default_executor is not None:
+        return _default_executor
+    return ParallelExecutor(jobs=1)
+
+
+def configure_default(jobs: int = 1, cache_dir: Optional[str] = None,
+                      use_cache: bool = True) -> ParallelExecutor:
+    """Build + install the default executor from CLI-level knobs."""
+    cache = RunCache(cache_dir) if (cache_dir and use_cache) else None
+    executor = ParallelExecutor(jobs=jobs, cache=cache)
+    set_default_executor(executor)
+    return executor

@@ -1,0 +1,27 @@
+"""Perf-trajectory tooling: wall-clock phase timing and events/sec.
+
+See docs/PERFORMANCE.md.  The CLI's global ``--profile`` flag prints a
+:class:`RunProfile` after any run; ``benchmarks/bench_hot_path.py``
+writes the canonical macro-benchmark as ``BENCH_PR5.json`` and CI fails
+on a >20% events/sec regression versus the committed baseline.
+"""
+
+from repro.profiling.profiler import (
+    BENCH_SCHEMA,
+    RunProfile,
+    active_profile,
+    compare_bench,
+    read_bench,
+    set_active_profile,
+    write_bench,
+)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "RunProfile",
+    "active_profile",
+    "compare_bench",
+    "read_bench",
+    "set_active_profile",
+    "write_bench",
+]

@@ -260,51 +260,76 @@ def _classify(exc: BaseException) -> tuple[Outcome, str]:
     return Outcome.FAILURE, f"{type(exc).__name__}: {exc}"
 
 
-def run_chaos(config: ChaosConfig,
-              log: Optional[Callable[[str], None]] = None) -> ChaosReport:
-    """Run one chaos campaign; returns the classified report."""
+def run_iteration(config: ChaosConfig, i: int) -> ChaosRun:
+    """Fuzz, run, and classify chaos iteration ``i`` of a campaign.
+
+    Module-level and driven only by ``(config, i)`` — the per-iteration
+    RNG is ``random.Random(f"{seed}:{i}")``, never a shared stream — so
+    iterations are independent, picklable for process-parallel fan-out,
+    and classify identically at any job count.
+    """
     from repro.harness.runners import run_collective
 
-    report = ChaosReport(seed=config.seed)
-    for i in range(config.iterations):
-        rng = random.Random(f"{config.seed}:{i}")
-        backend = config.backends[i % len(config.backends)]
-        op = rng.choice(_OPS)
-        size = (config.size_bytes_detailed if backend == "detailed"
-                else config.size_bytes_fast)
-        transport = fuzz_transport(rng)
-        watchdog = WatchdogConfig(stall_cycles=config.stall_cycles,
-                                  check_every_events=64,
-                                  bundle_dir=config.bundle_dir)
-        # Fuzz against the actual fabric: build the topology once just to
-        # enumerate its directed link endpoint pairs.
-        probe = _build_spec(backend, FaultSchedule([]), transport, watchdog)
-        fabric = probe.topology_builder(probe.config.system).fabric
-        link_pairs = sorted({(l.src, l.dst) for l in fabric.links})
-        horizon = (config.horizon_detailed if backend == "detailed"
-                   else config.horizon_fast)
-        schedule = fuzz_schedule(rng, link_pairs, fabric.num_npus,
-                                 horizon=horizon)
+    rng = random.Random(f"{config.seed}:{i}")
+    backend = config.backends[i % len(config.backends)]
+    op = rng.choice(_OPS)
+    size = (config.size_bytes_detailed if backend == "detailed"
+            else config.size_bytes_fast)
+    transport = fuzz_transport(rng)
+    watchdog = WatchdogConfig(stall_cycles=config.stall_cycles,
+                              check_every_events=64,
+                              bundle_dir=config.bundle_dir)
+    # Fuzz against the actual fabric: build the topology once just to
+    # enumerate its directed link endpoint pairs.
+    probe = _build_spec(backend, FaultSchedule([]), transport, watchdog)
+    fabric = probe.topology_builder(probe.config.system).fabric
+    link_pairs = sorted({(l.src, l.dst) for l in fabric.links})
+    horizon = (config.horizon_detailed if backend == "detailed"
+               else config.horizon_fast)
+    schedule = fuzz_schedule(rng, link_pairs, fabric.num_npus,
+                             horizon=horizon)
 
-        spec = _build_spec(backend, schedule, transport, watchdog)
-        try:
-            result = run_collective(spec, op, size,
-                                    max_events=config.max_events)
-            outcome, detail, cycles = (
-                Outcome.SUCCESS, f"{result.duration_cycles:,.0f} cycles",
-                result.duration_cycles)
-        except Exception as exc:  # noqa: BLE001 - classification boundary
-            outcome, detail = _classify(exc)
-            cycles = None
-        report.runs.append(ChaosRun(
-            iteration=i, backend=backend, op=op.value, outcome=outcome,
-            detail=detail, cycles=cycles, schedule=schedule.to_dict(),
-            transport={"max_retries": transport.max_retries,
-                       "timeout_cycles": transport.timeout_cycles,
-                       "max_paused_waits": transport.max_paused_waits,
-                       "jitter": transport.jitter,
-                       "seed": transport.seed}))
-        if log is not None:
-            log(f"[{i + 1}/{config.iterations}] {backend} {op.value}: "
-                f"{outcome.value} ({detail})")
+    spec = _build_spec(backend, schedule, transport, watchdog)
+    try:
+        result = run_collective(spec, op, size,
+                                max_events=config.max_events)
+        outcome, detail, cycles = (
+            Outcome.SUCCESS, f"{result.duration_cycles:,.0f} cycles",
+            result.duration_cycles)
+    except Exception as exc:  # noqa: BLE001 - classification boundary
+        outcome, detail = _classify(exc)
+        cycles = None
+    return ChaosRun(
+        iteration=i, backend=backend, op=op.value, outcome=outcome,
+        detail=detail, cycles=cycles, schedule=schedule.to_dict(),
+        transport={"max_retries": transport.max_retries,
+                   "timeout_cycles": transport.timeout_cycles,
+                   "max_paused_waits": transport.max_paused_waits,
+                   "jitter": transport.jitter,
+                   "seed": transport.seed})
+
+
+def run_chaos(config: ChaosConfig,
+              log: Optional[Callable[[str], None]] = None,
+              executor=None) -> ChaosReport:
+    """Run one chaos campaign; returns the classified report.
+
+    Iterations fan out through ``executor`` (a
+    :class:`repro.parallel.ParallelExecutor`; defaults to the process
+    -wide one).  Chaos runs are never cached — their side effects are the
+    point — and the report is identical at any job count because every
+    iteration seeds its own RNG from ``(seed, i)``.
+    """
+    import functools
+
+    from repro.parallel import default_executor
+
+    ex = executor if executor is not None else default_executor()
+    runs = ex.map(functools.partial(run_iteration, config),
+                  range(config.iterations))
+    report = ChaosReport(seed=config.seed, runs=list(runs))
+    if log is not None:
+        for run in report.runs:
+            log(f"[{run.iteration + 1}/{config.iterations}] {run.backend} "
+                f"{run.op}: {run.outcome.value} ({run.detail})")
     return report

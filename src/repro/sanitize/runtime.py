@@ -75,35 +75,36 @@ class SanitizedEventQueue(EventQueue):
         self._same_time_run = 0
 
     def step(self) -> bool:
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                self._cancelled_in_heap -= 1
-                continue
-            if event.time < self._now:
+        # Cancelled heads are drained through the shared _peek_live()
+        # helper so the pending/compaction bookkeeping cannot drift from
+        # the base queue's drain paths.
+        event = self._peek_live()
+        if event is None:
+            return False
+        heapq.heappop(self._heap)
+        if event.time < self._now:
+            raise SanitizerError(
+                f"time-travel: event scheduled for t={event.time} fired "
+                f"at t={self._now} (seq={event.seq}); the event heap is "
+                f"corrupted"
+            )
+        if event.time == self._now:
+            self._same_time_run += 1
+            if self._same_time_run > self.sanitizer.config.livelock_threshold:
                 raise SanitizerError(
-                    f"time-travel: event scheduled for t={event.time} fired "
-                    f"at t={self._now} (seq={event.seq}); the event heap is "
-                    f"corrupted"
+                    f"zero-delay livelock: more than "
+                    f"{self.sanitizer.config.livelock_threshold} events "
+                    f"executed at t={self._now} without time advancing"
                 )
-            if event.time == self._now:
-                self._same_time_run += 1
-                if self._same_time_run > self.sanitizer.config.livelock_threshold:
-                    raise SanitizerError(
-                        f"zero-delay livelock: more than "
-                        f"{self.sanitizer.config.livelock_threshold} events "
-                        f"executed at t={self._now} without time advancing"
-                    )
-            else:
-                self._same_time_run = 0
-            self._now = event.time
-            self._events_processed += 1
-            event.fired = True
-            event.callback()
-            if self.watcher is not None:
-                self.watcher(self)
-            return True
-        return False
+        else:
+            self._same_time_run = 0
+        self._now = event.time
+        self._events_processed += 1
+        event.fired = True
+        event.callback()
+        if self.watcher is not None:
+            self.watcher(self)
+        return True
 
 
 @dataclass

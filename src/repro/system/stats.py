@@ -66,6 +66,25 @@ class DelayBreakdown:
             })
         return out
 
+    def as_dict(self) -> dict:
+        """JSON-serializable form; round-trips through :meth:`from_dict`.
+
+        Used by the run cache (:mod:`repro.parallel.cache`) so a cached
+        collective result carries its full Fig. 12b breakdown.
+        """
+        return {
+            "phase_stats": {str(p): s.as_dict() for p, s in self.phase_stats.items()},
+            "ready_queue_delays": list(self.ready_queue_delays),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DelayBreakdown":
+        out = cls()
+        for p, stats in data.get("phase_stats", {}).items():
+            out.phase_stats[int(p)] = PhaseStats.from_dict(stats)
+        out.ready_queue_delays = [float(d) for d in data.get("ready_queue_delays", [])]
+        return out
+
     def merge_from(self, other: "DelayBreakdown") -> None:
         """Fold another breakdown into this one (per-layer -> per-run)."""
         for p, stats in other.phase_stats.items():

@@ -8,6 +8,7 @@ programs against: :meth:`request_collective` returns a
 
 from __future__ import annotations
 
+import itertools
 from typing import Callable, Optional, Sequence
 
 from repro.collectives.context import CollectiveContext
@@ -87,6 +88,10 @@ class System:
         #: tooling (repro.analysis.trace) can reconstruct phase spans.
         self.scheduler.keep_completed = trace
         self.sets: list[CollectiveSet] = []
+        # Per-system set numbering: set ids appear in labels, traces and
+        # error messages, so they must depend on this run alone — not on
+        # how many systems the process (or a pool worker) built before.
+        self._set_ids = itertools.count()
         self._p2p: Optional[P2PEngine] = None
         #: repro.resilience.monitor.ResilienceMonitor when a resilience
         #: config (checkpointing / watchdog / resume) was supplied.  The
@@ -143,6 +148,7 @@ class System:
             layer_id=layer_id,
             name=name,
             reduction_cycles_per_kb=reduction_cycles_per_kb,
+            set_id=next(self._set_ids),
         )
         ctx = CollectiveContext(
             self.backend,

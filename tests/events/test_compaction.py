@@ -8,8 +8,6 @@ order is (time, seq), the executed event sequence is identical with or
 without it.
 """
 
-import pytest
-
 from repro.events import EventQueue
 from repro.sanitize.runtime import RuntimeSanitizer
 
@@ -102,3 +100,48 @@ class TestPendingHeapInvariant:
         assert findings[0].code == "pending-count-drift"
         assert "87" in findings[0].message  # the claimed pending count
         assert "90" in findings[0].message  # the recounted live entries
+
+
+class TestUnifiedDrain:
+    """step() and run() drain cancelled heads through one helper
+    (_peek_live), so the pending/compaction counters cannot drift between
+    the two paths — whichever mix of them executes a run."""
+
+    def test_interleaved_step_and_run_keep_counters_exact(self):
+        queue = EventQueue()
+        sink = []
+        fill_and_cancel(queue, scheduled=200, cancelled=120, sink=sink)
+        # Drain a few events one at a time, then let run() finish.
+        for _ in range(10):
+            assert queue.step()
+            assert queue.pending == queue.live_count()
+        queue.run()
+        assert sink == sorted(sink)
+        assert len(sink) == 80
+        assert queue.pending == queue.live_count() == 0
+        assert queue._cancelled_in_heap == 0
+        assert RuntimeSanitizer().event_queue_findings(queue) == []
+
+    def test_step_and_run_execute_identical_sequences(self):
+        def build():
+            q = EventQueue()
+            s = []
+            fill_and_cancel(q, scheduled=150, cancelled=60, sink=s)
+            return q, s
+
+        stepped, s1 = build()
+        while stepped.step():
+            pass
+        ran, s2 = build()
+        ran.run()
+        assert s1 == s2
+        assert stepped.events_processed == ran.events_processed
+
+    def test_run_until_leaves_cancelled_accounting_consistent(self):
+        queue = EventQueue()
+        sink = []
+        fill_and_cancel(queue, scheduled=100, cancelled=40, sink=sink)
+        queue.run(until=30.0)  # mid-heap horizon
+        assert queue.pending == queue.live_count()
+        queue.run()
+        assert queue.pending == queue.live_count() == 0

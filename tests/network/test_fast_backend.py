@@ -107,6 +107,20 @@ class TestPathValidation:
     def test_valid_path_accepted(self):
         validate_path(Message(0, 1, 1.0), [Link(0, 5, IDEAL), Link(5, 1, IDEAL)])
 
+    def test_send_rejects_empty_path_cleanly(self):
+        """send() on a degenerate path must fail in validation, never
+        reach the hop loop (regression: last_tail was unbound there)."""
+        backend = FastBackend(EventQueue(), IDEAL_NET)
+        with pytest.raises(NetworkError, match="empty path"):
+            backend.send(Message(0, 1, 1.0), [], lambda m: None)
+
+    def test_send_rejects_discontinuous_path_cleanly(self):
+        backend = FastBackend(EventQueue(), IDEAL_NET)
+        with pytest.raises(NetworkError, match="discontinuous"):
+            backend.send(Message(0, 1, 1.0),
+                         [Link(0, 5, IDEAL), Link(6, 1, IDEAL)],
+                         lambda m: None)
+
 
 class TestScheduling:
     def test_backend_exposes_event_queue(self):

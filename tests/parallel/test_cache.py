@@ -1,0 +1,132 @@
+"""Content-addressed run cache: keys, purity rules, store semantics."""
+
+import json
+import os
+
+import pytest
+
+from repro.collectives.types import CollectiveOp
+from repro.config.parameters import TorusShape
+from repro.harness.runners import run_collective, torus_platform
+from repro.parallel import (
+    RunCache,
+    collective_cache_key,
+    payload_to_result,
+    result_to_payload,
+)
+from repro.parallel.cache import PAYLOAD_SCHEMA
+
+
+def _spec():
+    return torus_platform(TorusShape(2, 2, 2), preferred_set_splits=4)
+
+
+KB64 = 64 * 1024.0
+
+
+class TestCacheKey:
+    def test_same_point_same_key(self):
+        k1 = collective_cache_key(_spec(), CollectiveOp.ALL_REDUCE, KB64)
+        k2 = collective_cache_key(_spec(), CollectiveOp.ALL_REDUCE, KB64)
+        assert k1 == k2
+        assert len(k1) == 64  # sha256 hexdigest
+
+    def test_key_varies_with_inputs(self):
+        base = collective_cache_key(_spec(), CollectiveOp.ALL_REDUCE, KB64)
+        assert collective_cache_key(
+            _spec(), CollectiveOp.ALL_GATHER, KB64) != base
+        assert collective_cache_key(
+            _spec(), CollectiveOp.ALL_REDUCE, 2 * KB64) != base
+        assert collective_cache_key(
+            _spec(), CollectiveOp.ALL_REDUCE, KB64, backend="detailed") != base
+        other = torus_platform(TorusShape(2, 4, 2), preferred_set_splits=4)
+        assert collective_cache_key(
+            other, CollectiveOp.ALL_REDUCE, KB64) != base
+
+    def test_config_change_invalidates(self):
+        """Any simulated parameter lands in the key via the config repr."""
+        from dataclasses import replace
+
+        spec = _spec()
+        base = collective_cache_key(spec, CollectiveOp.ALL_REDUCE, KB64)
+        spec.config = replace(
+            spec.config,
+            system=replace(spec.config.system, preferred_set_splits=8))
+        assert collective_cache_key(
+            spec, CollectiveOp.ALL_REDUCE, KB64) != base
+
+    def test_impure_specs_are_uncacheable(self):
+        from dataclasses import replace
+
+        from repro.config.parameters import TransportConfig
+        from repro.network.fault_schedule import FaultSchedule
+        from repro.resilience import ResilienceConfig
+
+        faulty = _spec()
+        faulty.fault_schedule = FaultSchedule([])
+        assert collective_cache_key(faulty, CollectiveOp.ALL_REDUCE, KB64) is None
+
+        resilient = _spec()
+        resilient.resilience = ResilienceConfig()
+        assert collective_cache_key(
+            resilient, CollectiveOp.ALL_REDUCE, KB64) is None
+
+        custom = _spec()
+        custom.backend_factory = lambda e, n, s: None
+        assert collective_cache_key(custom, CollectiveOp.ALL_REDUCE, KB64) is None
+
+        transported = _spec()
+        transported.config = replace(
+            transported.config,
+            system=replace(transported.config.system,
+                           transport=TransportConfig()))
+        assert collective_cache_key(
+            transported, CollectiveOp.ALL_REDUCE, KB64) is None
+
+
+class TestPayloadRoundtrip:
+    def test_result_survives_roundtrip(self):
+        result = run_collective(_spec(), CollectiveOp.ALL_REDUCE, KB64)
+        key = collective_cache_key(_spec(), CollectiveOp.ALL_REDUCE, KB64)
+        rebuilt = payload_to_result(
+            json.loads(json.dumps(result_to_payload(result, key))))
+        assert rebuilt.label == result.label
+        assert rebuilt.op == result.op
+        assert rebuilt.duration_cycles == result.duration_cycles
+        assert rebuilt.num_npus == result.num_npus
+        assert rebuilt.breakdown.as_dict() == result.breakdown.as_dict()
+        assert rebuilt.system is None
+
+
+class TestRunCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = RunCache(str(tmp_path))
+        key = "a" * 64
+        assert cache.get(key) is None
+        cache.put(key, {"schema": PAYLOAD_SCHEMA, "key": key, "x": 1})
+        assert cache.get(key)["x"] == 1
+        assert cache.stats.as_dict() == {"hits": 1, "misses": 1, "stores": 1}
+        assert len(cache) == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = RunCache(str(tmp_path))
+        key = "b" * 64
+        os.makedirs(str(tmp_path), exist_ok=True)
+        with open(os.path.join(str(tmp_path), f"{key}.json"), "w") as f:
+            f.write("{truncated")
+        assert cache.get(key) is None
+        assert cache.stats.misses == 1
+
+    def test_schema_or_key_mismatch_is_a_miss(self, tmp_path):
+        cache = RunCache(str(tmp_path))
+        key = "c" * 64
+        cache.put(key, {"schema": PAYLOAD_SCHEMA + 1, "key": key})
+        assert cache.get(key) is None
+        cache.put(key, {"schema": PAYLOAD_SCHEMA, "key": "d" * 64})
+        assert cache.get(key) is None
+
+    def test_needs_directory(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            RunCache("")

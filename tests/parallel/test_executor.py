@@ -1,0 +1,134 @@
+"""ParallelExecutor: ordering, fallbacks, cache integration."""
+
+import functools
+
+import pytest
+
+from repro.collectives.types import CollectiveOp
+from repro.config.parameters import TorusShape
+from repro.errors import ReproError
+from repro.harness.runners import torus_platform
+from repro.parallel import (
+    ParallelExecutor,
+    RunCache,
+    RunPoint,
+    configure_default,
+    default_executor,
+    set_default_executor,
+)
+
+KB64 = 64 * 1024.0
+
+
+def _small_torus():
+    return torus_platform(TorusShape(2, 2, 2), preferred_set_splits=4)
+
+
+def _square(x):
+    return x * x
+
+
+@pytest.fixture(autouse=True)
+def _clean_default():
+    yield
+    set_default_executor(None)
+
+
+class TestMap:
+    def test_serial_map_keeps_order(self):
+        assert ParallelExecutor(jobs=1).map(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_parallel_map_keeps_order(self):
+        with ParallelExecutor(jobs=2) as ex:
+            assert ex.map(_square, list(range(6))) == [
+                x * x for x in range(6)]
+
+    def test_unpicklable_fn_falls_back_in_process(self):
+        captured = []
+
+        def closure(x):
+            captured.append(x)
+            return -x
+
+        assert ParallelExecutor(jobs=4).map(closure, [1, 2]) == [-1, -2]
+        assert captured == [1, 2]  # ran here, not in a worker
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ReproError):
+            ParallelExecutor(jobs=0)
+
+
+class TestRunPoints:
+    def test_serial_points(self):
+        ex = ParallelExecutor(jobs=1)
+        points = [RunPoint(builder=_small_torus, op=CollectiveOp.ALL_REDUCE,
+                           size_bytes=s) for s in (KB64, 2 * KB64)]
+        results = ex.run_points(points)
+        assert [r.size_bytes for r in results] == [KB64, 2 * KB64]
+        assert ex.simulations_run == 2
+        assert all(r.duration_cycles > 0 for r in results)
+
+    def test_parallel_matches_serial_bit_for_bit(self):
+        points = [RunPoint(builder=_small_torus, op=CollectiveOp.ALL_REDUCE,
+                           size_bytes=s) for s in (KB64, 2 * KB64, 4 * KB64)]
+        serial = ParallelExecutor(jobs=1).run_points(points)
+        with ParallelExecutor(jobs=4) as ex:
+            parallel = ex.run_points(points)
+        for a, b in zip(serial, parallel):
+            assert a.duration_cycles == b.duration_cycles
+            assert a.breakdown.as_dict() == b.breakdown.as_dict()
+
+    def test_unpicklable_builder_runs_in_parent(self):
+        shape = TorusShape(2, 2, 2)
+        points = [
+            RunPoint(builder=lambda: torus_platform(shape,
+                                                    preferred_set_splits=4),
+                     op=CollectiveOp.ALL_REDUCE, size_bytes=KB64),
+            RunPoint(builder=functools.partial(torus_platform, shape,
+                                               preferred_set_splits=4),
+                     op=CollectiveOp.ALL_REDUCE, size_bytes=KB64),
+        ]
+        with ParallelExecutor(jobs=2) as ex:
+            results = ex.run_points(points)
+        assert results[0].duration_cycles == results[1].duration_cycles
+
+    def test_warm_cache_runs_zero_simulations(self, tmp_path):
+        points = [RunPoint(builder=_small_torus, op=CollectiveOp.ALL_REDUCE,
+                           size_bytes=s) for s in (KB64, 2 * KB64)]
+        cold = ParallelExecutor(jobs=1, cache=RunCache(str(tmp_path)))
+        first = cold.run_points(points)
+        assert cold.simulations_run == 2
+        assert cold.cache.stats.stores == 2
+
+        warm = ParallelExecutor(jobs=1, cache=RunCache(str(tmp_path)))
+        second = warm.run_points(points)
+        assert warm.simulations_run == 0
+        assert warm.cache.stats.hits == 2
+        for a, b in zip(first, second):
+            assert a.duration_cycles == b.duration_cycles
+            assert a.breakdown.as_dict() == b.breakdown.as_dict()
+
+    def test_sanitized_points_bypass_the_cache(self, tmp_path):
+        ex = ParallelExecutor(jobs=1, cache=RunCache(str(tmp_path)))
+        point = RunPoint(builder=_small_torus, op=CollectiveOp.ALL_REDUCE,
+                         size_bytes=KB64, sanitize=True)
+        ex.run_points([point])
+        ex.run_points([point])
+        assert ex.simulations_run == 2
+        assert ex.cache.stats.stores == 0
+
+
+class TestDefaultExecutor:
+    def test_unset_default_is_serial_uncached(self):
+        ex = default_executor()
+        assert ex.jobs == 1 and ex.cache is None
+
+    def test_configure_default_installs(self, tmp_path):
+        ex = configure_default(jobs=3, cache_dir=str(tmp_path))
+        assert default_executor() is ex
+        assert ex.jobs == 3 and ex.cache is not None
+
+    def test_no_cache_wins_over_cache_dir(self, tmp_path):
+        ex = configure_default(jobs=1, cache_dir=str(tmp_path),
+                               use_cache=False)
+        assert ex.cache is None

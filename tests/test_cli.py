@@ -107,3 +107,48 @@ class TestMemoryCommand:
         code = main(["memory", "--model", "resnet50", "--hbm-gb", "0.1"])
         assert code == 1
         assert "WARNING" in capsys.readouterr().out
+
+
+class TestGlobalExecutionFlags:
+    def test_defaults(self):
+        args = build_arg_parser().parse_args(["collective"])
+        assert args.jobs == 1
+        assert args.cache_dir is None
+        assert not args.no_cache
+        assert not args.profile
+
+    def test_profile_prints_phase_table(self, capsys):
+        code = main(["--profile", "collective", "--size-mb", "1",
+                     "--shape", "2x2x2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "profile [collective]" in out
+        assert "events/sec" in out
+
+    def test_cache_dir_reports_summary_and_reuses(self, tmp_path, capsys):
+        argv = ["--cache-dir", str(tmp_path), "collective", "--size-mb", "1",
+                "--shape", "2x2x2"]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "0 hits" in cold and "1 stored" in cold
+
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "1 hits" in warm and "0 stored" in warm
+        # Identical reported cycles from the cached payload.
+        assert cold.splitlines()[0] == warm.splitlines()[0]
+
+    def test_no_cache_disables_cache_dir(self, tmp_path, capsys):
+        argv = ["--cache-dir", str(tmp_path), "--no-cache", "collective",
+                "--size-mb", "1", "--shape", "2x2x2"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "run cache" not in out
+
+    def test_jobs_flag_gives_identical_output(self, capsys):
+        argv = ["collective", "--size-mb", "1", "--shape", "2x2x2"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(["--jobs", "4"] + argv) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
