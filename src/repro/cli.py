@@ -278,6 +278,20 @@ def _cmd_collective(args: argparse.Namespace) -> int:
     if args.breakdown:
         print()
         print(format_breakdown(result.breakdown))
+    if args.check_schedule:
+        from repro.sanitize.schedule import CollectiveProbe, run_schedule_trials
+
+        probe = CollectiveProbe(
+            label=f"collective/{args.op}",
+            platform_builder=lambda: _build_platform(args),
+            op=_OPS[args.op],
+            size_bytes=args.size_mb * MB,
+        )
+        report = run_schedule_trials(probe, trials=args.schedule_trials,
+                                     seed=args.schedule_seed)
+        print(report.summary())
+        if not report.identical:
+            return 1
     return 0
 
 
@@ -293,6 +307,16 @@ def _cmd_bandwidth(args: argparse.Namespace) -> int:
     print(f"{args.op} bandwidth test on {_build_platform(args).name}:")
     print(format_points(points))
     return 0
+
+
+#: Shared exit-code contract of the checking subcommands (lint, analyze),
+#: rendered into their --help epilogs.
+_EXIT_CODES_DOC = """\
+exit status:
+  0  clean: no findings at severity ERROR (nor WARNING, under --strict)
+  1  findings at severity ERROR (or WARNING with --strict)
+  2  usage or configuration error
+"""
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -315,6 +339,77 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                 print(f"{report.source}: ok")
 
     clean = all(report.ok(strict=args.strict) for report in reports)
+    return 0 if clean else 1
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.sanitize.findings import reports_to_json
+
+    # With no mode flag, run both analyses (the CI gate's default).
+    modes_given = (args.source is not None or args.schedule
+                   or args.inject_race)
+    do_source = args.source is not None or not modes_given
+    do_schedule = args.schedule or args.inject_race or not modes_given
+
+    source_reports = []
+    schedule_reports = []
+    finding_reports = []
+
+    if do_source:
+        from repro.sanitize.source_lint import (
+            default_source_root,
+            lint_source_tree,
+        )
+
+        source_root = args.source or default_source_root()
+        source_reports = lint_source_tree(source_root)
+        finding_reports.extend(source_reports)
+
+    if do_schedule:
+        from repro.sanitize.schedule import run_schedule_trials
+
+        probes = []
+        if not args.inject_race or args.schedule:
+            from repro.harness import fig09, fig12
+
+            probes.extend(fig09.schedule_probes())
+            probes.extend(fig12.schedule_probes())
+        if args.inject_race:
+            from repro.sanitize.schedule import InjectedRaceProbe
+
+            probes.append(InjectedRaceProbe())
+        for probe in probes:
+            report = run_schedule_trials(
+                probe, trials=args.schedule_trials, seed=args.schedule_seed)
+            schedule_reports.append(report)
+            finding_reports.append(report.to_findings())
+
+    if args.json:
+        print(reports_to_json(finding_reports))
+    else:
+        if do_source:
+            flagged = [r for r in source_reports if r.findings]
+            for report in flagged:
+                print(report.format())
+            total = sum(len(r.findings) for r in source_reports)
+            print(f"source lint: {len(source_reports)} files, "
+                  f"{total} findings")
+        for report in schedule_reports:
+            print(report.summary())
+
+    if args.report:
+        import json
+
+        payload = {
+            "source": [r.to_dict() for r in source_reports],
+            "schedule": [r.to_dict() for r in schedule_reports],
+        }
+        with open(args.report, "w") as f:
+            json.dump(payload, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"report written to {args.report}")
+
+    clean = all(r.ok(strict=args.strict) for r in finding_reports)
     return 0 if clean else 1
 
 
@@ -404,6 +499,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
     coll.add_argument("--size-mb", type=float, default=8.0,
                       help="collective payload in MB")
     coll.add_argument("--breakdown", action="store_true")
+    coll.add_argument("--check-schedule", action="store_true",
+                      help="after the run, verify the result is bit-identical "
+                           "under permuted same-timestamp event orders "
+                           "(exit 1 on divergence; docs/DETERMINISM.md)")
+    coll.add_argument("--schedule-trials", type=int, default=8, metavar="N",
+                      help="permuted schedules for --check-schedule")
+    coll.add_argument("--schedule-seed", type=int, default=2020, metavar="SEED",
+                      help="base permutation seed for --check-schedule")
     coll.set_defaults(func=_cmd_collective)
 
     bw = sub.add_parser("bandwidth",
@@ -416,7 +519,9 @@ def build_arg_parser() -> argparse.ArgumentParser:
     bw.set_defaults(func=_cmd_bandwidth)
 
     lint = sub.add_parser(
-        "lint", help="statically check run-spec / config files before simulating")
+        "lint", help="statically check run-spec / config files before simulating",
+        epilog=_EXIT_CODES_DOC,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     lint.add_argument("specs", nargs="*",
                       help="run-spec or config JSON files (default: lint the "
                            "shipped paper presets)")
@@ -427,6 +532,43 @@ def build_arg_parser() -> argparse.ArgumentParser:
     lint.add_argument("--strict", action="store_true",
                       help="treat warnings as errors (exit nonzero)")
     lint.set_defaults(func=_cmd_lint)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="determinism analysis: AST source lint + schedule-perturbation "
+             "race detection (docs/DETERMINISM.md)",
+        epilog=_EXIT_CODES_DOC,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    analyze.add_argument("--source", nargs="?", const="", default=None,
+                         metavar="PATH",
+                         help="lint Python sources under PATH for "
+                              "nondeterminism (default: the installed repro "
+                              "package)")
+    analyze.add_argument("--schedule", action="store_true",
+                         help="run the schedule-perturbation race detector on "
+                              "the Fig. 9/12 probe configs: results must be "
+                              "bit-identical under permuted same-timestamp "
+                              "event order")
+    analyze.add_argument("--schedule-trials", type=int, default=8, metavar="N",
+                         help="permuted schedules per probe (default 8)")
+    analyze.add_argument("--schedule-seed", type=int, default=2020,
+                         metavar="SEED",
+                         help="base seed the per-trial permutations derive "
+                              "from (results must be identical under every "
+                              "seed)")
+    analyze.add_argument("--inject-race", action="store_true",
+                         help="also run the deliberately order-sensitive "
+                              "self-test probe; the detector must flag it "
+                              "(exits 1 by design)")
+    analyze.add_argument("--json", action="store_true",
+                         help="emit machine-readable findings as JSON")
+    analyze.add_argument("--report", default=None, metavar="PATH",
+                         help="write the full analysis (per-file findings + "
+                              "per-probe trial fingerprints and any "
+                              "divergence bundle) as JSON")
+    analyze.add_argument("--strict", action="store_true",
+                         help="treat warnings as errors (exit nonzero)")
+    analyze.set_defaults(func=_cmd_analyze)
 
     chaos = sub.add_parser(
         "chaos",

@@ -8,7 +8,8 @@ breakdowns.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.config.parameters import InjectionPolicy, PacketRouting
@@ -20,18 +21,38 @@ from repro.network.message import Message
 
 @dataclass
 class PhaseStats:
-    """Accumulated message timing for one phase index across a run."""
+    """Accumulated message timing for one phase index across a run.
+
+    Per-message values are kept and reduced with :func:`math.fsum` on
+    read: the exact sum rounded once, so the totals are bit-identical no
+    matter what order messages were recorded in.  An incrementally
+    rounded ``+=`` would drift in the last ulp whenever delivery order is
+    perturbed (parallel execution, schedule tie permutation — see
+    docs/DETERMINISM.md).
+    """
 
     messages: int = 0
-    queue_cycles: float = 0.0
-    network_cycles: float = 0.0
-    bytes: float = 0.0
+    queue_values: list[float] = field(default_factory=list, repr=False)
+    network_values: list[float] = field(default_factory=list, repr=False)
+    byte_values: list[float] = field(default_factory=list, repr=False)
 
     def record(self, message: Message) -> None:
         self.messages += 1
-        self.queue_cycles += message.queueing_cycles
-        self.network_cycles += message.network_cycles
-        self.bytes += message.size_bytes
+        self.queue_values.append(message.queueing_cycles)
+        self.network_values.append(message.network_cycles)
+        self.byte_values.append(message.size_bytes)
+
+    @property
+    def queue_cycles(self) -> float:
+        return math.fsum(self.queue_values)
+
+    @property
+    def network_cycles(self) -> float:
+        return math.fsum(self.network_values)
+
+    @property
+    def bytes(self) -> float:
+        return math.fsum(self.byte_values)
 
     @property
     def mean_queue_cycles(self) -> float:
@@ -40,6 +61,14 @@ class PhaseStats:
     @property
     def mean_network_cycles(self) -> float:
         return self.network_cycles / self.messages if self.messages else 0.0
+
+    def merge_from(self, other: "PhaseStats") -> None:
+        """Fold another phase's samples in (order-invariant: the merged
+        totals fsum over the union of samples)."""
+        self.messages += other.messages
+        self.queue_values.extend(other.queue_values)
+        self.network_values.extend(other.network_values)
+        self.byte_values.extend(other.byte_values)
 
     def as_dict(self) -> dict:
         """JSON-serializable form (run-cache payloads, bench reports)."""
@@ -54,9 +83,9 @@ class PhaseStats:
     def from_dict(cls, data: dict) -> "PhaseStats":
         return cls(
             messages=int(data["messages"]),
-            queue_cycles=float(data["queue_cycles"]),
-            network_cycles=float(data["network_cycles"]),
-            bytes=float(data["bytes"]),
+            queue_values=[float(data["queue_cycles"])],
+            network_values=[float(data["network_cycles"])],
+            byte_values=[float(data["bytes"])],
         )
 
 

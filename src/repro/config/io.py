@@ -39,7 +39,7 @@ def config_to_dict(config: SimulationConfig) -> dict[str, Any]:
     """A JSON-ready dictionary of the full parameter bundle."""
     out = asdict(config)
     system = out["system"]
-    for key, enum_cls in _ENUMS.items():
+    for key in _ENUMS:
         system[key] = getattr(config.system, key).value
     return out
 

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
@@ -23,21 +23,29 @@ from repro.errors import SimulationError
 EventCallback = Callable[[], None]
 
 
-@dataclass(order=True, slots=True)
+@dataclass(slots=True)
 class _ScheduledEvent:
-    """Internal heap entry.
+    """Mutable per-event state (cancellation, fired flag).
 
-    Ordered by (time, sequence) so that events scheduled for the same time
-    fire in the order they were scheduled (deterministic FIFO tie-break).
+    The heap itself stores plain ``(time, tiebreak, seq, event)`` tuples —
+    heapq then compares entries entirely in C (the ``seq`` field is unique,
+    so the event object in slot 3 is never reached by a comparison), which
+    is the engine's single hottest code path.  The ordering semantics:
+    events scheduled for the same time fire in the order they were
+    scheduled (deterministic FIFO tie-break); ``tiebreak`` is 0 unless a
+    :attr:`EventQueue.tie_breaker` hook is installed, in which case it
+    permutes the drain order of same-timestamp events (the
+    schedule-perturbation race detector, :mod:`repro.sanitize.schedule`).
     ``slots=True``: millions of these live in the heap of a long run, and
     the hot loop touches ``.time``/``.cancelled`` on every pop.
     """
 
     time: float
+    tiebreak: int
     seq: int
-    callback: EventCallback = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    fired: bool = field(default=False, compare=False)
+    callback: EventCallback
+    cancelled: bool = False
+    fired: bool = False
 
 
 class EventHandle:
@@ -96,7 +104,7 @@ class EventQueue:
     COMPACT_MIN_CANCELLED = 1024
 
     def __init__(self) -> None:
-        self._heap: list[_ScheduledEvent] = []
+        self._heap: list[tuple[float, int, int, _ScheduledEvent]] = []
         self._seq = itertools.count()
         self._now = 0.0
         self._events_processed = 0
@@ -108,6 +116,15 @@ class EventQueue:
         #: default) keeps the hot loop branch-predictable and the simulated
         #: schedule untouched — watchers observe, they never inject events.
         self.watcher: Optional[Callable[["EventQueue"], None]] = None
+        #: Optional same-timestamp permutation hook (see
+        #: :mod:`repro.sanitize.schedule`): called as ``tie_breaker(time,
+        #: seq)`` at schedule time, and the returned rank is ordered
+        #: *between* time and the FIFO sequence number.  ``None`` (the
+        #: default) ranks every event 0, i.e. plain FIFO — the production
+        #: schedule.  A correct simulation must produce bit-identical
+        #: results under any tie-break permutation; the race detector
+        #: installs seeded permutations here to prove it.
+        self.tie_breaker: Optional[Callable[[float, int], int]] = None
 
     @property
     def now(self) -> float:
@@ -141,7 +158,7 @@ class EventQueue:
         the runtime sanitizer compares the two at quiescence (a drift means
         a cancellation was double-counted or lost).
         """
-        return sum(1 for event in self._heap if not event.cancelled)
+        return sum(1 for entry in self._heap if not entry[3].cancelled)
 
     def _note_cancel(self) -> None:
         self._cancelled_in_heap += 1
@@ -152,9 +169,10 @@ class EventQueue:
     def compact(self) -> None:
         """Rebuild the heap without cancelled entries.
 
-        Heap order is (time, seq); both survive compaction unchanged, so
-        the executed event sequence — and therefore the simulation — is
-        byte-for-byte identical with or without compaction.
+        Heap order is (time, tiebreak, seq); all three survive compaction
+        unchanged, so the executed event sequence — and therefore the
+        simulation — is byte-for-byte identical with or without
+        compaction.
 
         Compaction mutates the heap list *in place* (slice assignment):
         :meth:`run` hoists a reference to the list for the hot loop, and
@@ -163,7 +181,7 @@ class EventQueue:
         """
         if self._cancelled_in_heap == 0:
             return
-        self._heap[:] = [event for event in self._heap if not event.cancelled]
+        self._heap[:] = [entry for entry in self._heap if not entry[3].cancelled]
         heapq.heapify(self._heap)
         self._cancelled_in_heap = 0
         self._compactions += 1
@@ -181,7 +199,7 @@ class EventQueue:
         pop = heapq.heappop
         dropped = 0
         while heap:
-            head = heap[0]
+            head = heap[0][3]
             if not head.cancelled:
                 if dropped:
                     self._cancelled_in_heap -= dropped
@@ -198,8 +216,12 @@ class EventQueue:
             raise SimulationError(
                 f"cannot schedule event at t={time} before current time t={self._now}"
             )
-        event = _ScheduledEvent(time=time, seq=next(self._seq), callback=callback)
-        heapq.heappush(self._heap, event)
+        seq = next(self._seq)
+        tie_breaker = self.tie_breaker
+        tiebreak = 0 if tie_breaker is None else tie_breaker(time, seq)
+        event = _ScheduledEvent(time=time, tiebreak=tiebreak, seq=seq,
+                                callback=callback)
+        heapq.heappush(self._heap, (time, tiebreak, seq, event))
         return EventHandle(event, self)
 
     def schedule(self, delay: float, callback: EventCallback) -> EventHandle:

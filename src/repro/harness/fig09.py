@@ -88,6 +88,27 @@ def run(sizes: Sequence[float] = SWEEP_SIZES,
     return _split(collective, sizes, results)
 
 
+def schedule_probes(size_bytes: float = 64 * 1024) -> list:
+    """Schedule-perturbation probes for the Fig. 9 setup.
+
+    Small payloads (one sweep point per topology x collective) keep
+    ``astra-repro analyze --schedule`` runs short; the race detector
+    re-runs each probe once per trial.
+    """
+    from repro.sanitize.schedule import CollectiveProbe
+
+    return [
+        CollectiveProbe(
+            label=f"fig09/{name}/{op.value}",
+            platform_builder=builder,
+            op=op,
+            size_bytes=float(size_bytes),
+        )
+        for name, builder in (("alltoall", _alltoall), ("torus", _torus))
+        for op in (CollectiveOp.ALL_TO_ALL, CollectiveOp.ALL_REDUCE)
+    ]
+
+
 def run_both(sizes: Sequence[float] = SWEEP_SIZES) -> dict[str, Figure9Result]:
     """Both panels, all 2 collectives x 2 topologies x sizes in one batch."""
     sizes = list(sizes)

@@ -44,7 +44,7 @@ class Figure10Result:
         lengths = {len(v) for v in self.by_shape.values()}
         assert len(lengths) == 1
         out = []
-        for i in range(lengths.pop()):
+        for i in range(min(lengths)):  # singleton by the assert; min() is order-free
             row: dict[str, float] = {
                 "size_bytes": self.by_shape[labels[0]][i].size_bytes
             }

@@ -60,6 +60,27 @@ def _platform(shape: TorusShape):
     )
 
 
+def schedule_probes(size_bytes: float = 256 * 1024,
+                    shapes: Sequence[TorusShape] = SHAPES[:2]) -> list:
+    """Schedule-perturbation probes for the Fig. 12 setup.
+
+    Defaults to the two smallest tori (2x2x2, 2x4x2) with a reduced
+    payload — the 4-phase enhanced all-reduce exercises every phase's
+    queueing with far fewer events than the full 2 MB sweep.
+    """
+    from repro.sanitize.schedule import CollectiveProbe
+
+    return [
+        CollectiveProbe(
+            label=f"fig12/torus-{shape}/all_reduce",
+            platform_builder=functools.partial(_platform, shape),
+            op=CollectiveOp.ALL_REDUCE,
+            size_bytes=float(size_bytes),
+        )
+        for shape in shapes
+    ]
+
+
 def run(
     size_bytes: float = DEFAULT_SIZE,
     shapes: Sequence[TorusShape] = SHAPES,

@@ -30,6 +30,7 @@ from repro.config.presets import (
     symmetric_network_config,
 )
 from repro.errors import ConfigError
+from repro.events.engine import EventQueue
 from repro.system.stats import DelayBreakdown
 from repro.system.sys_layer import System
 from repro.topology.logical import (
@@ -84,17 +85,22 @@ class PlatformSpec:
     #: flit-level one); None builds the fast analytical backend.
     backend_factory: Optional[Callable] = None
 
-    def build_system(self, sanitize: bool = False) -> System:
+    def build_system(self, sanitize: bool = False,
+                     events: Optional[EventQueue] = None) -> System:
         """Build the system; ``sanitize=True`` attaches a fresh
         :class:`repro.sanitize.runtime.RuntimeSanitizer` (runtime invariant
-        checking at a small instrumentation cost)."""
+        checking at a small instrumentation cost).  ``events`` supplies a
+        caller-built event queue — the schedule-perturbation detector
+        (:mod:`repro.sanitize.schedule`) passes queues with a tie-break
+        hook or tracing installed; it wins over the sanitizer's queue."""
         topology = self.topology_builder(self.config.system)
         sanitizer = None
         if sanitize:
             from repro.sanitize.runtime import RuntimeSanitizer
 
             sanitizer = RuntimeSanitizer()
-        return System(topology, self.config, sanitizer=sanitizer,
+        return System(topology, self.config, events=events,
+                      sanitizer=sanitizer,
                       fault_schedule=self.fault_schedule,
                       resilience=self.resilience,
                       backend_factory=self.backend_factory)
@@ -185,9 +191,10 @@ def run_collective(
     size_bytes: float,
     max_events: Optional[int] = MAX_EVENTS,
     sanitize: bool = False,
+    events: Optional[EventQueue] = None,
 ) -> CollectiveResult:
     """Run one chunked collective to completion on a fresh platform."""
-    system = platform.build_system(sanitize=sanitize)
+    system = platform.build_system(sanitize=sanitize, events=events)
     collective = system.request_collective(op, size_bytes, name=f"{op.value}")
     system.run_until_idle(max_events=max_events)
     if not collective.done:

@@ -132,6 +132,7 @@ class TxPort:
         self.flits_sent += 1
         stats = link.stats
         stats.bytes += flit.size_bytes
+        # det: allow[float-accumulation] one link = one time-ordered flit stream
         stats.busy_cycles += ser
 
         self.events.schedule(ser, self._tx_done)

@@ -106,8 +106,9 @@ class Link:
         stats = self.stats
         stats.messages += 1
         stats.bytes += size_bytes
+        # det: allow[float-accumulation] one port = one time-ordered stream
         stats.busy_cycles += ser
-        stats.queue_cycles += start - at
+        stats.queue_cycles += start - at  # det: allow[float-accumulation] as above
         return start, head_arrival, tail_arrival
 
     def reset(self) -> None:

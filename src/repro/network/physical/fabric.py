@@ -108,8 +108,9 @@ class Fabric:
         groups = self.groups(dim)
         sizes = {len(chs[0].nodes) for chs in groups.values()}
         if len(sizes) != 1:
-            raise TopologyError(f"non-uniform group sizes in {dim}: {sizes}")
-        return sizes.pop()
+            raise TopologyError(
+                f"non-uniform group sizes in {dim}: {sorted(sizes)}")
+        return min(sizes)
 
     def total_links(self) -> int:
         return len(self.links)

@@ -20,7 +20,7 @@ from __future__ import annotations
 import json
 import os
 import platform
-import time
+import time  # det: allow-file[wall-clock] profiling measures host wall-clock by design
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Optional

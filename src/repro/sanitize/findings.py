@@ -17,13 +17,29 @@ from dataclasses import asdict, dataclass, field
 class Severity(enum.Enum):
     """How bad a finding is.
 
-    ``ERROR`` findings make ``astra-repro lint`` exit nonzero; ``WARNING``
-    only does under ``--strict``; ``INFO`` is advisory.
+    ``ERROR`` findings make ``astra-repro lint`` / ``astra-repro analyze``
+    exit with status 1; ``WARNING`` only does under ``--strict``; ``INFO``
+    is advisory.  Severities are ordered: ``ERROR`` ranks before
+    ``WARNING`` ranks before ``INFO``, and findings sort most-severe
+    first (see :meth:`Finding.sort_key`).
     """
 
     ERROR = "error"
     WARNING = "warning"
     INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        """Ordering rank: 0 is most severe."""
+        return _SEVERITY_RANK[self]
+
+    def __lt__(self, other: "Severity") -> bool:
+        if not isinstance(other, Severity):
+            return NotImplemented
+        return self.rank < other.rank
+
+
+_SEVERITY_RANK = {Severity.ERROR: 0, Severity.WARNING: 1, Severity.INFO: 2}
 
 
 @dataclass(frozen=True)
@@ -41,10 +57,19 @@ class Finding:
     param: str
     message: str
     source: str = ""
+    #: 1-based source line for file-anchored findings (the source linter);
+    #: 0 means "not line-anchored" (config/runtime findings).
+    line: int = 0
 
     def format(self) -> str:
         where = f"{self.source}: " if self.source else ""
-        return f"{where}{self.severity.value}: [{self.code}] {self.param}: {self.message}"
+        at = f"{self.param}: " if self.param else ""
+        return f"{where}{self.severity.value}: [{self.code}] {at}{self.message}"
+
+    def sort_key(self) -> tuple:
+        """Sort most-severe first, then by source, line and code — a
+        stable order that does not depend on discovery order."""
+        return (self.severity.rank, self.source, self.line, self.code, self.param)
 
     def to_dict(self) -> dict:
         data = asdict(self)
@@ -65,14 +90,19 @@ class LintReport:
         code: str,
         param: str,
         message: str,
+        line: int = 0,
     ) -> None:
         self.findings.append(
             Finding(severity=severity, code=code, param=param,
-                    message=message, source=self.source)
+                    message=message, source=self.source, line=line)
         )
 
     def extend(self, findings: list[Finding]) -> None:
         self.findings.extend(findings)
+
+    def sorted_findings(self) -> list[Finding]:
+        """Findings most-severe first (see :meth:`Finding.sort_key`)."""
+        return sorted(self.findings, key=Finding.sort_key)
 
     @property
     def errors(self) -> list[Finding]:
@@ -106,3 +136,19 @@ class LintReport:
 def reports_to_json(reports: list[LintReport], indent: int = 2) -> str:
     """Serialize a batch of lint reports for tooling consumption."""
     return json.dumps([r.to_dict() for r in reports], indent=indent)
+
+
+def merge_reports(reports: list[LintReport], source: str = "") -> LintReport:
+    """Fold a batch of reports into one, findings sorted most-severe first.
+
+    Each finding keeps its own ``source`` (the file or preset it anchors
+    to); only the aggregate's label is replaced.  Merging then sorting is
+    deterministic regardless of the order the inputs were produced in —
+    the aggregate depends on *what* was found, not on directory-walk or
+    scheduling order.
+    """
+    merged = LintReport(source=source)
+    for report in reports:
+        merged.extend(report.findings)
+    merged.findings.sort(key=Finding.sort_key)
+    return merged

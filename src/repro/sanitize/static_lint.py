@@ -341,7 +341,7 @@ def lint_fabric_structure(topology, source: str = "") -> list[Finding]:
                 f"groups have different sizes: {sorted(sizes)}",
             )
         elif sizes:
-            product *= sizes.pop()
+            product *= min(sizes)
 
         for group, channels in groups.items():
             members = membership.get(group, set())

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import itertools
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.collectives.context import CollectiveContext
@@ -29,18 +29,23 @@ from repro.network.physical.fabric import Fabric
 from repro.system.collective_set import CollectiveSet
 from repro.system.stats import DelayBreakdown
 
-_chunk_ids = itertools.count()
-
-
 @dataclass
 class ReadyChunk:
-    """A chunk sitting in the ready queue."""
+    """A chunk sitting in the ready queue.
+
+    ``chunk_id`` is assigned by the owning :class:`Scheduler` — a
+    per-system counter, not a process global, so chunk numbering (the
+    PRIORITY-policy FIFO tie-break, ``in_flight`` keys, diagnostics)
+    depends on this run alone and not on how many systems the process or
+    a pool worker built before (cross-process determinism; see the same
+    note on ``System._set_ids``).
+    """
 
     collective: CollectiveSet
     index_in_set: int
     size_bytes: float
     enqueued_at: float
-    chunk_id: int = field(default_factory=lambda: next(_chunk_ids))
+    chunk_id: int
 
 
 class Scheduler:
@@ -58,6 +63,7 @@ class Scheduler:
         self.global_breakdown = global_breakdown
         self._now = now
         self._ready: deque[ReadyChunk] = deque()
+        self._chunk_ids = itertools.count()
         self._first_phase_chunks = 0
         self._issued = 0
         self._completed = 0
@@ -93,7 +99,9 @@ class Scheduler:
         now = self._now()
         collective.created_at = now
         for i, size in enumerate(collective.chunk_sizes):
-            self._ready.append(ReadyChunk(collective, i, size, enqueued_at=now))
+            self._ready.append(
+                ReadyChunk(collective, i, size, enqueued_at=now,
+                           chunk_id=next(self._chunk_ids)))
         # Stash the per-set context on the set for dispatch time.
         collective._ctx = ctx  # type: ignore[attr-defined]
         self._maybe_dispatch()

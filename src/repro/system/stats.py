@@ -11,6 +11,7 @@ Fig. 12b and Fig. 16 report, per run or per layer:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.collectives.context import PhaseStats
@@ -36,10 +37,14 @@ class DelayBreakdown:
 
     @property
     def mean_ready_queue_delay(self) -> float:
-        """Queue P0 in the paper's terminology."""
+        """Queue P0 in the paper's terminology.
+
+        ``fsum``: exact sum, so the mean does not depend on the order
+        chunks were dispatched in (schedule-tie permutations reorder it).
+        """
         if not self.ready_queue_delays:
             return 0.0
-        return sum(self.ready_queue_delays) / len(self.ready_queue_delays)
+        return math.fsum(self.ready_queue_delays) / len(self.ready_queue_delays)
 
     def mean_queue_delay(self, phase_index: int) -> float:
         """Queue P<phase_index> (mean per-message link-wait cycles)."""
@@ -88,9 +93,5 @@ class DelayBreakdown:
     def merge_from(self, other: "DelayBreakdown") -> None:
         """Fold another breakdown into this one (per-layer -> per-run)."""
         for p, stats in other.phase_stats.items():
-            mine = self.phase_stats.setdefault(p, PhaseStats())
-            mine.messages += stats.messages
-            mine.queue_cycles += stats.queue_cycles
-            mine.network_cycles += stats.network_cycles
-            mine.bytes += stats.bytes
+            self.phase_stats.setdefault(p, PhaseStats()).merge_from(stats)
         self.ready_queue_delays.extend(other.ready_queue_delays)

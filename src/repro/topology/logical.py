@@ -61,8 +61,9 @@ class LogicalTopology:
         groups = self.fabric.groups(dim)
         counts = {len(chs) for chs in groups.values()}
         if len(counts) != 1:
-            raise TopologyError(f"non-uniform channel counts in {dim}: {counts}")
-        return counts.pop()
+            raise TopologyError(
+                f"non-uniform channel counts in {dim}: {sorted(counts)}")
+        return min(counts)
 
 
 def build_torus_topology(

@@ -63,7 +63,9 @@ class ParallelismStrategy:
                 )
             overlap = set(self.data_dims) & set(self.model_dims)
             if overlap:
-                raise WorkloadError(f"dimensions in both groups: {overlap}")
+                raise WorkloadError(
+                    "dimensions in both groups: "
+                    f"{sorted(d.value for d in overlap)}")
         if self.kind is ParallelismKind.DATA and self.model_dims:
             raise WorkloadError("data parallelism takes no model_dims")
         if self.kind is ParallelismKind.MODEL and self.data_dims:

@@ -213,6 +213,7 @@ class PipelineTrainingLoop:
                   else stage.backward_cycles)
         self._busy[stage_idx] = True
         report = self._reports[stage_idx]
+        # det: allow[float-accumulation] one stage = one sequential task stream
         report.busy_cycles += cycles
         if task.kind == "fwd":
             report.forward_tasks += 1
@@ -250,6 +251,7 @@ class PipelineTrainingLoop:
             self._enqueue(stage_idx, _Task("bwd", microbatch))
 
     def _on_activation(self, stage_idx: int, microbatch: int, transfer) -> None:
+        # det: allow[float-accumulation] per-stage transfers complete sequentially
         self._comm_cycles += transfer.duration_cycles
         self._enqueue(stage_idx, _Task("fwd", microbatch))
 
@@ -272,6 +274,7 @@ class PipelineTrainingLoop:
                 self._end_iteration()
 
     def _on_gradient(self, stage_idx: int, microbatch: int, transfer) -> None:
+        # det: allow[float-accumulation] per-stage transfers complete sequentially
         self._comm_cycles += transfer.duration_cycles
         self._enqueue(stage_idx, _Task("bwd", microbatch))
 

@@ -251,6 +251,7 @@ class TrainingLoop:
         report = self._reports[index]
 
         def unblock(_c) -> None:
+            # det: allow[float-accumulation] one layer blocks at most once per pass
             report.exposed_cycles += self.system.now - wait_start
             resume()
 

@@ -1,0 +1,86 @@
+"""Tests for the ``astra-repro analyze`` subcommand and exit-code contract."""
+
+import json
+
+from repro.cli import build_arg_parser, main
+
+
+class TestAnalyzeSource:
+    def test_shipped_sources_exit_zero(self, capsys):
+        assert main(["analyze", "--source"]) == 0
+        out = capsys.readouterr().out
+        assert "0 findings" in out
+
+    def test_dirty_tree_exits_one(self, tmp_path, capsys):
+        (tmp_path / "dirty.py").write_text(
+            "import random\nx = random.random()\n")
+        assert main(["analyze", "--source", str(tmp_path)]) == 1
+        assert "unseeded-random" in capsys.readouterr().out
+
+    def test_warning_only_exits_zero_unless_strict(self, tmp_path, capsys):
+        (tmp_path / "warn.py").write_text(
+            "def f(xs):\n"
+            "    total_cycles = 0.0\n"
+            "    for x in xs:\n"
+            "        total_cycles += x\n"
+            "    return total_cycles\n")
+        assert main(["analyze", "--source", str(tmp_path)]) == 0
+        assert main(["analyze", "--source", str(tmp_path), "--strict"]) == 1
+        capsys.readouterr()
+
+    def test_json_output(self, tmp_path, capsys):
+        (tmp_path / "dirty.py").write_text("import time\nt = time.time()\n")
+        assert main(["analyze", "--source", str(tmp_path), "--json"]) == 1
+        reports = json.loads(capsys.readouterr().out)
+        finding = reports[0]["findings"][0]
+        assert finding["code"] == "wall-clock"
+        assert finding["line"] == 2
+
+
+class TestAnalyzeSchedule:
+    def test_inject_race_exits_one_with_divergence_report(self, capsys):
+        assert main(["analyze", "--inject-race"]) == 1
+        out = capsys.readouterr().out
+        assert "schedule race in injected-race" in out
+        assert "diverged from the FIFO baseline at event #0" in out
+
+    def test_report_artifact_written(self, tmp_path, capsys):
+        path = tmp_path / "analysis.json"
+        assert main(["analyze", "--inject-race", "--report", str(path)]) == 1
+        capsys.readouterr()
+        payload = json.loads(path.read_text())
+        div = payload["schedule"][0]["divergence"]
+        assert div["first_divergence_index"] == 0
+        assert div["payload_diff"] == ["digest"]
+        assert payload["schedule"][0]["identical"] is False
+
+    def test_schedule_flags_parse(self):
+        args = build_arg_parser().parse_args(
+            ["analyze", "--schedule", "--schedule-trials", "3",
+             "--schedule-seed", "99"])
+        assert args.schedule_trials == 3
+        assert args.schedule_seed == 99
+
+
+class TestCollectiveCheckSchedule:
+    def test_small_run_is_identical(self, capsys):
+        code = main(["collective", "--op", "allreduce", "--size-mb", "0.0625",
+                     "--shape", "2x2x2", "--check-schedule",
+                     "--schedule-trials", "2"])
+        assert code == 0
+        assert "bit-identical" in capsys.readouterr().out
+
+
+class TestExitCodeContract:
+    def test_documented_in_both_helps(self):
+        parser = build_arg_parser()
+        subparsers = next(a for a in parser._actions
+                          if hasattr(a, "choices") and a.choices)
+        for command in ("lint", "analyze"):
+            text = subparsers.choices[command].format_help()
+            assert "exit status:" in text
+            assert "2  usage or configuration error" in text
+
+    def test_usage_error_exits_two(self, capsys):
+        assert main(["analyze", "--source", "/nonexistent/nowhere"]) == 2
+        assert "error" in capsys.readouterr().err

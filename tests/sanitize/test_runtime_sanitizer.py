@@ -46,7 +46,8 @@ class TestSanitizedEventQueue:
         q.schedule_at(10.0, lambda: None)
         q.run()
         # Corrupt the heap behind schedule_at's back: an event in the past.
-        heapq.heappush(q._heap, _ScheduledEvent(5.0, -1, lambda: None))
+        stale = _ScheduledEvent(time=5.0, tiebreak=0, seq=-1, callback=lambda: None)
+        heapq.heappush(q._heap, (stale.time, stale.tiebreak, stale.seq, stale))
         with pytest.raises(SanitizerError, match="time-travel"):
             q.step()
 

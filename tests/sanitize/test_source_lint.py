@@ -1,0 +1,307 @@
+"""Tests for the AST determinism linter (repro.sanitize.source_lint)."""
+
+import textwrap
+
+from repro.sanitize.findings import Severity
+from repro.sanitize.source_lint import (
+    RULE_CODES,
+    default_source_root,
+    iter_python_files,
+    lint_source_text,
+    lint_source_tree,
+)
+
+
+def lint(code: str, **kwargs):
+    return lint_source_text(textwrap.dedent(code), source="snippet.py",
+                            **kwargs)
+
+
+def codes(report):
+    return [f.code for f in report.findings]
+
+
+class TestUnseededRandom:
+    def test_module_level_random_flagged(self):
+        report = lint("""
+            import random
+            x = random.random()
+        """)
+        assert "unseeded-random" in codes(report)
+
+    def test_seeded_instance_ok(self):
+        report = lint("""
+            import random
+            rng = random.Random(42)
+            x = rng.random()
+        """)
+        assert "unseeded-random" not in codes(report)
+
+    def test_unseeded_instance_flagged(self):
+        report = lint("""
+            import random
+            rng = random.Random()
+        """)
+        assert "unseeded-random" in codes(report)
+
+    def test_numpy_module_level_flagged_through_alias(self):
+        report = lint("""
+            import numpy as np
+            x = np.random.rand(3)
+        """)
+        assert "unseeded-random" in codes(report)
+
+    def test_numpy_seeded_generator_ok(self):
+        report = lint("""
+            import numpy as np
+            rng = np.random.default_rng(7)
+        """)
+        assert "unseeded-random" not in codes(report)
+
+    def test_numpy_unseeded_generator_flagged(self):
+        report = lint("""
+            import numpy as np
+            rng = np.random.default_rng()
+        """)
+        assert "unseeded-random" in codes(report)
+
+
+class TestWallClock:
+    def test_time_time_flagged(self):
+        report = lint("""
+            import time
+            t = time.time()
+        """)
+        assert "wall-clock" in codes(report)
+
+    def test_perf_counter_flagged(self):
+        report = lint("""
+            import time
+            t = time.perf_counter()
+        """)
+        assert "wall-clock" in codes(report)
+
+    def test_datetime_now_flagged(self):
+        report = lint("""
+            import datetime
+            t = datetime.datetime.now()
+        """)
+        assert "wall-clock" in codes(report)
+
+
+class TestUnorderedIteration:
+    def test_for_over_set_flagged(self):
+        report = lint("""
+            def f(items):
+                seen = set(items)
+                for item in seen:
+                    print(item)
+        """)
+        assert "unordered-iteration" in codes(report)
+
+    def test_for_over_sorted_set_ok(self):
+        report = lint("""
+            def f(items):
+                seen = set(items)
+                for item in sorted(seen):
+                    print(item)
+        """)
+        assert "unordered-iteration" not in codes(report)
+
+    def test_list_of_set_flagged(self):
+        report = lint("""
+            def f(items):
+                seen = {i for i in items}
+                return list(seen)
+        """)
+        assert "unordered-iteration" in codes(report)
+
+    def test_set_in_fstring_flagged(self):
+        report = lint("""
+            def f(items):
+                bad = set(items)
+                return f"got {bad}"
+        """)
+        assert "unordered-iteration" in codes(report)
+
+    def test_list_of_list_ok(self):
+        report = lint("""
+            def f(items):
+                ordered = [i for i in items]
+                return list(ordered)
+        """)
+        assert "unordered-iteration" not in codes(report)
+
+
+class TestIdOrdering:
+    def test_sort_key_id_flagged(self):
+        report = lint("""
+            def f(items):
+                return sorted(items, key=id)
+        """)
+        assert "id-ordering" in codes(report)
+
+    def test_id_comparison_flagged(self):
+        report = lint("""
+            def f(a, b):
+                return id(a) < id(b)
+        """)
+        assert "id-ordering" in codes(report)
+
+    def test_plain_sort_ok(self):
+        report = lint("""
+            def f(items):
+                return sorted(items)
+        """)
+        assert "id-ordering" not in codes(report)
+
+
+class TestFloatAccumulation:
+    def test_cycle_accumulation_in_loop_warned(self):
+        report = lint("""
+            def f(samples):
+                total_cycles = 0.0
+                for s in samples:
+                    total_cycles += s
+                return total_cycles
+        """)
+        assert "float-accumulation" in codes(report)
+        flagged = next(f for f in report.findings
+                       if f.code == "float-accumulation")
+        assert flagged.severity is Severity.WARNING
+
+    def test_counter_accumulation_ok(self):
+        report = lint("""
+            def f(samples):
+                count = 0
+                for _ in samples:
+                    count += 1
+                return count
+        """)
+        assert "float-accumulation" not in codes(report)
+
+
+class TestMutableDefaultArg:
+    def test_list_default_flagged(self):
+        report = lint("""
+            def f(acc=[]):
+                return acc
+        """)
+        assert "mutable-default-arg" in codes(report)
+
+    def test_dict_call_default_flagged(self):
+        report = lint("""
+            def f(acc=dict()):
+                return acc
+        """)
+        assert "mutable-default-arg" in codes(report)
+
+    def test_tuple_default_ok(self):
+        report = lint("""
+            def f(acc=()):
+                return acc
+        """)
+        assert "mutable-default-arg" not in codes(report)
+
+
+class TestSuppressions:
+    def test_same_line_suppression(self):
+        report = lint("""
+            import time
+            t = time.time()  # det: allow[wall-clock] host profiling
+        """)
+        assert codes(report) == []
+
+    def test_line_above_suppression(self):
+        report = lint("""
+            import time
+            # det: allow[wall-clock] host profiling
+            t = time.time()
+        """)
+        assert codes(report) == []
+
+    def test_file_level_suppression(self):
+        report = lint("""
+            import time  # det: allow-file[wall-clock] measures host time
+            a = time.time()
+            b = time.perf_counter()
+        """)
+        assert codes(report) == []
+
+    def test_unused_suppression_warned(self):
+        report = lint("""
+            x = 1  # det: allow[wall-clock] nothing here needs it
+        """)
+        assert codes(report) == ["unused-suppression"]
+
+    def test_wrong_code_does_not_suppress(self):
+        report = lint("""
+            import time
+            t = time.time()  # det: allow[unseeded-random] wrong code
+        """)
+        assert "wall-clock" in codes(report)
+        assert "unused-suppression" in codes(report)
+
+    def test_suppression_in_docstring_ignored(self):
+        report = lint('''
+            def f():
+                """Example: x = 1  # det: allow[wall-clock] in docs only."""
+                return 1
+        ''')
+        assert codes(report) == []
+
+
+class TestEntryPoints:
+    def test_syntax_error_reported_as_finding(self):
+        report = lint_source_text("def broken(:\n", source="bad.py")
+        assert codes(report) == ["syntax-error"]
+        assert report.findings[0].severity is Severity.ERROR
+
+    def test_findings_sorted_and_line_anchored(self):
+        report = lint("""
+            import time
+            def f(items):
+                t = time.time()
+                for i in set(items):
+                    pass
+        """)
+        assert report.findings == sorted(report.findings,
+                                         key=lambda f: f.sort_key())
+        assert all(f.line > 0 for f in report.findings)
+        assert all(f.param == f"L{f.line}" for f in report.findings)
+
+    def test_ignore_filters_rules(self):
+        report = lint("""
+            import time
+            t = time.time()
+        """, ignore=("wall-clock",))
+        assert codes(report) == []
+
+    def test_tree_lints_every_file_sorted(self, tmp_path):
+        (tmp_path / "b.py").write_text("import time\nt = time.time()\n")
+        (tmp_path / "a.py").write_text("x = 1\n")
+        sub = tmp_path / "__pycache__"
+        sub.mkdir()
+        (sub / "skip.py").write_text("import time\ntime.time()\n")
+        reports = lint_source_tree(str(tmp_path))
+        assert [r.source for r in reports] == ["a.py", "b.py"]
+        assert codes(reports[1]) == ["wall-clock"]
+
+    def test_iter_python_files_accepts_single_file(self, tmp_path):
+        path = tmp_path / "one.py"
+        path.write_text("x = 1\n")
+        assert iter_python_files(str(path)) == [str(path)]
+
+    def test_rule_codes_are_stable(self):
+        assert "unseeded-random" in RULE_CODES
+        assert "schedule-divergence" not in RULE_CODES  # dynamic, not AST
+
+
+class TestShippedTreeIsClean:
+    def test_zero_findings_on_shipped_sources(self):
+        """The acceptance gate: ``astra-repro analyze --source`` on the
+        shipped simulator reports no findings at all (not just no ERRORs;
+        justified cases carry ``det: allow`` suppressions in-source)."""
+        reports = lint_source_tree(default_source_root())
+        flagged = [f.format() for r in reports for f in r.findings]
+        assert flagged == []
