@@ -309,6 +309,63 @@ def _cmd_bandwidth(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_search(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.parallel import default_executor
+    from repro.search import (
+        SearchReport,
+        SearchSpace,
+        load_trajectory,
+        make_objective,
+        make_strategy,
+        rank_frontier,
+        run_search,
+    )
+
+    space = SearchSpace.from_file(args.space)
+    objective = make_objective(args.objective, space.cost_table, space.size_bytes)
+    strategy = make_strategy(args.strategy, space, args.seed,
+                             generation_size=args.generation_size,
+                             mu=args.mu, lam=args.lam,
+                             mutation_rate=args.mutation_rate)
+    executor = default_executor()
+    simulations_before = executor.simulations_run
+
+    # On resume, prior evaluations re-enter the frontier (run_search
+    # preloads them into its memo so they cost no budget and no sims).
+    prior = {}
+    if args.resume and args.trajectory and os.path.exists(args.trajectory):
+        prior = load_trajectory(args.trajectory, space, objective)
+
+    trajectory = run_search(space, objective, strategy, budget=args.budget,
+                            executor=executor,
+                            trajectory_path=args.trajectory,
+                            resume=args.resume)
+    report = SearchReport(
+        space=space.name,
+        num_npus=space.num_npus,
+        collective=space.collective.value,
+        size_bytes=space.size_bytes,
+        objective=objective.name,
+        strategy=strategy.name,
+        seed=args.seed,
+        budget=args.budget,
+        frontier=rank_frontier(trajectory, prior),
+        evaluations=len(trajectory),
+        simulations=executor.simulations_run - simulations_before,
+        cache_summary=(executor.cache.summary()
+                       if executor.cache is not None else None),
+    )
+    print(report.format_table(top=args.top))
+    if args.out:
+        report.write_json(args.out)
+        print(f"report written to {args.out}")
+    if args.trajectory:
+        print(f"trajectory log: {args.trajectory}")
+    return 0
+
+
 #: Shared exit-code contract of the checking subcommands (lint, analyze),
 #: rendered into their --help epilogs.
 _EXIT_CODES_DOC = """\
@@ -517,6 +574,51 @@ def build_arg_parser() -> argparse.ArgumentParser:
     bw.add_argument("--sizes-mb", default="0.0625,0.5,4,32",
                     help="comma-separated payload sizes in MB")
     bw.set_defaults(func=_cmd_bandwidth)
+
+    from repro.search import OBJECTIVE_NAMES, STRATEGY_NAMES
+
+    search = sub.add_parser(
+        "search",
+        help="optimizer-driven design-space search over topology x BW x "
+             "collective x scheduler (docs/SEARCH.md)")
+    _add_execution_args(search)
+    search.add_argument("--space", required=True, metavar="PATH",
+                        help="search-space JSON (axes, constraints, cost "
+                             "table; docs/SEARCH.md)")
+    search.add_argument("--objective", choices=OBJECTIVE_NAMES, default="time",
+                        help="scoring: raw cycles, amortized $/step, or "
+                             "negated GB/s per interconnect dollar")
+    search.add_argument("--strategy", choices=STRATEGY_NAMES,
+                        default="evolutionary",
+                        help="seeded proposal loop")
+    search.add_argument("--budget", type=int, default=32, metavar="N",
+                        help="unique design points to evaluate")
+    search.add_argument("--seed", type=int, default=2020,
+                        help="strategy seed; same seed = same trajectory "
+                             "at any --jobs value")
+    search.add_argument("--generation-size", type=int, default=None,
+                        metavar="N", help="random strategy: points per "
+                                          "generation (default 8)")
+    search.add_argument("--mu", type=int, default=None,
+                        help="evolutionary: survivors per generation "
+                             "(default 4)")
+    search.add_argument("--lambda", dest="lam", type=int, default=None,
+                        help="evolutionary: offspring per generation "
+                             "(default 8)")
+    search.add_argument("--mutation-rate", type=float, default=None,
+                        help="evolutionary: per-gene mutation probability "
+                             "(default 0.25)")
+    search.add_argument("--top", type=int, default=10, metavar="N",
+                        help="frontier rows to print")
+    search.add_argument("--out", default=None, metavar="PATH",
+                        help="write the full ranked frontier as JSON")
+    search.add_argument("--trajectory", default=None, metavar="PATH",
+                        help="append every evaluation to this JSONL log "
+                             "(resumable with --resume)")
+    search.add_argument("--resume", action="store_true",
+                        help="preload --trajectory so prior evaluations "
+                             "cost no budget and no simulations")
+    search.set_defaults(func=_cmd_search)
 
     lint = sub.add_parser(
         "lint", help="statically check run-spec / config files before simulating",

@@ -161,15 +161,17 @@ def alltoall_platform(
     local_rings: int = 2,
     global_switches: int = 2,
     preferred_set_splits: int = 16,
+    scheduling_policy: SchedulingPolicy = SchedulingPolicy.LIFO,
 ) -> PlatformSpec:
     """A hierarchical alltoall platform with Table IV parameters."""
     network = symmetric_network_config() if symmetric else paper_network_config()
     base = paper_simulation_config(algorithm=algorithm,
+                                   scheduling_policy=scheduling_policy,
                                    preferred_set_splits=preferred_set_splits)
     system = SystemConfig(
         topology=base.system.topology,
         algorithm=algorithm,
-        scheduling_policy=base.system.scheduling_policy,
+        scheduling_policy=scheduling_policy,
         local_rings=local_rings,
         global_switches=global_switches,
         endpoint_delay_cycles=base.system.endpoint_delay_cycles,

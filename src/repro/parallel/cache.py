@@ -177,5 +177,9 @@ class RunCache:
 
     def summary(self) -> str:
         s = self.stats
-        return (f"run cache {self.directory}: {s.hits} hits, "
+        line = (f"run cache {self.directory}: {s.hits} hits, "
                 f"{s.misses} misses, {s.stores} stored")
+        lookups = s.hits + s.misses
+        if lookups:
+            line += f" ({100.0 * s.hits / lookups:.0f}% hit rate)"
+        return line

@@ -55,6 +55,7 @@ from repro.sanitize.static_lint import (
     lint_platform,
     lint_presets,
     lint_run_spec,
+    lint_search_space,
     lint_spec_file,
     lint_topology,
 )
@@ -81,6 +82,7 @@ __all__ = [
     "lint_platform",
     "lint_presets",
     "lint_run_spec",
+    "lint_search_space",
     "lint_spec_file",
     "lint_topology",
 ]

@@ -13,8 +13,10 @@ Checks everything that can be checked *before* the first event fires:
 The entry points mirror how runs are assembled: :func:`lint_config` for
 a constructed :class:`SimulationConfig`, :func:`lint_run_spec` /
 :func:`lint_spec_file` for JSON run specs, :func:`lint_platform` for a
-harness :class:`PlatformSpec`, and :func:`lint_presets` for everything
-shipped in :mod:`repro.config.presets`.
+harness :class:`PlatformSpec`, :func:`lint_presets` for everything
+shipped in :mod:`repro.config.presets`, and :func:`lint_search_space`
+for `astra-repro search` space documents (routed automatically by
+:func:`lint_run_spec` when a JSON file declares ``axes``).
 """
 
 from __future__ import annotations
@@ -542,6 +544,121 @@ def lint_fault_schedule(data: Any, source: str = "") -> list[Finding]:
     return report.findings
 
 
+# -- search-space specs ---------------------------------------------------------
+
+#: Axes whose values are plain integers >= 1 (rings, switches, chunks).
+_INT_AXES = ("chunks", "local_rings", "horizontal_rings", "vertical_rings",
+             "global_switches")
+
+
+def lint_search_space(data: Any, source: str = "") -> list[Finding]:
+    """Lint a search-space spec for `astra-repro search` (docs/SEARCH.md).
+
+    Raw-level checks fire first (unknown keys, empty axes, out-of-range
+    bounds) so a bad file yields parameter-anchored findings; a clean
+    document is then constructed via
+    :class:`repro.search.space.SearchSpace` to catch everything else
+    (shape/NPU mismatches, infeasible constraints).
+    """
+    from repro.analytical.cost_models import CostTable
+    from repro.search.space import (
+        AXIS_NAMES,
+        COLLECTIVE_NAMES,
+        CONSTRAINT_KEYS,
+        SPACE_KEYS,
+        SearchSpace,
+    )
+
+    report = LintReport(source=source)
+    if not isinstance(data, dict):
+        report.add(Severity.ERROR, "malformed-spec", "",
+                   f"search space must be a JSON object, got "
+                   f"{type(data).__name__}")
+        return report.findings
+    _check_unknown_keys(report, data, SPACE_KEYS, "")
+
+    num_npus = data.get("num_npus")
+    if num_npus is None:
+        report.add(Severity.ERROR, "missing-parameter", "num_npus",
+                   "search space needs an integer num_npus")
+    elif isinstance(num_npus, bool) or not isinstance(num_npus, int) \
+            or num_npus < 2:
+        report.add(Severity.ERROR, "out-of-range", "num_npus",
+                   f"must be an integer >= 2, got {num_npus!r}")
+
+    collective = data.get("collective")
+    if collective is not None and collective not in COLLECTIVE_NAMES:
+        report.add(Severity.ERROR, "unknown-parameter", "collective",
+                   f"unknown collective {collective!r}; expected one of "
+                   f"{', '.join(COLLECTIVE_NAMES)}")
+
+    size = data.get("size_bytes")
+    if size is not None and (isinstance(size, bool)
+                             or not isinstance(size, (int, float))
+                             or size <= 0):
+        report.add(Severity.ERROR, "out-of-range", "size_bytes",
+                   f"must be positive, got {size!r}")
+
+    axes = data.get("axes")
+    if axes is not None:
+        if not isinstance(axes, dict):
+            report.add(Severity.ERROR, "malformed-spec", "axes",
+                       "axes must be an object mapping axis -> values")
+        else:
+            _check_unknown_keys(report, axes, set(AXIS_NAMES), "axes")
+            for name, values in axes.items():
+                if name not in AXIS_NAMES:
+                    continue
+                if not isinstance(values, list):
+                    report.add(Severity.ERROR, "malformed-spec",
+                               f"axes.{name}", "axis values must be a list")
+                elif not values:
+                    report.add(Severity.ERROR, "empty-axis", f"axes.{name}",
+                               "axis has no values; drop it to use the "
+                               "default range")
+                elif name in _INT_AXES:
+                    for v in values:
+                        if isinstance(v, bool) or not isinstance(v, int) \
+                                or v < 1:
+                            report.add(Severity.ERROR, "out-of-range",
+                                       f"axes.{name}",
+                                       f"values must be integers >= 1, "
+                                       f"got {v!r}")
+
+    constraints = data.get("constraints")
+    if constraints is not None:
+        if not isinstance(constraints, dict):
+            report.add(Severity.ERROR, "malformed-spec", "constraints",
+                       "constraints must be an object")
+        else:
+            _check_unknown_keys(report, constraints, CONSTRAINT_KEYS,
+                                "constraints")
+            _check_rules(report, constraints, {
+                "max_links_per_npu": ("must be >= 1", lambda v: v >= 1),
+                "max_platform_dollars": ("must be positive", lambda v: v > 0),
+            }, "constraints")
+
+    cost = data.get("cost")
+    if cost is not None:
+        if not isinstance(cost, dict):
+            report.add(Severity.ERROR, "malformed-spec", "cost",
+                       "cost must be an object of CostTable fields")
+        else:
+            _check_unknown_keys(report, cost, CostTable.field_names(), "cost")
+            _check_rules(report, cost, {
+                name: ("must be >= 0", lambda v: v >= 0)
+                for name in CostTable.field_names()
+            }, "cost")
+
+    if report.errors:
+        return report.findings
+    try:
+        SearchSpace.from_dict(data, source=source)
+    except ConfigError as exc:
+        report.add(Severity.ERROR, "search-space-error", "", str(exc))
+    return report.findings
+
+
 # -- run specs and files --------------------------------------------------------
 
 
@@ -561,6 +678,11 @@ def lint_run_spec(data: Any, source: str = "") -> LintReport:
     if set(data) <= {"seed", "events"} and "events" in data:
         # A bare fault-schedule document (the --fault-schedule format).
         report.extend(lint_fault_schedule(data, source=source))
+        return report
+
+    if "axes" in data or ("num_npus" in data and "config" not in data):
+        # A search-space document (the `astra-repro search --space` format).
+        report.extend(lint_search_space(data, source=source))
         return report
 
     is_bare_config = "system" in data and "config" not in data

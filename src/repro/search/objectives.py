@@ -1,0 +1,121 @@
+"""Pluggable scoring for search candidates.
+
+An :class:`Objective` turns a simulated point into one scalar score —
+**lower is better** for every objective, so the driver and strategies
+never branch on direction.  Three objectives ship:
+
+* ``time`` — raw collective completion time in cycles.
+* ``cost`` — amortized $/step: platform capital cost (NPUs + links +
+  switches, priced by the :class:`~repro.analytical.cost_models.CostTable`)
+  spread over the platform lifetime, charged for the cycles the
+  collective occupies.  Favors cheap platforms that are still fast.
+* ``perf-per-link-dollar`` — negated delivered GB/s per interconnect
+  dollar (negated so lower stays better).  Ranks network provisioning
+  only; NPU cost cancels out.
+
+Every objective also computes the alpha-beta bandwidth floor for its
+point (:func:`~repro.analytical.cost_models.bandwidth_lower_bound_cycles`)
+so the report can flag any simulated time that impossibly beats it.
+"""
+
+from __future__ import annotations
+
+from repro.analytical.cost_models import (
+    CostTable,
+    bandwidth_lower_bound_cycles,
+    dollars_per_step,
+    link_dollars,
+    perf_per_link_dollar,
+)
+from repro.errors import ConfigError
+from repro.search.space import SearchPoint
+
+#: Names accepted by :func:`make_objective` (and the CLI ``--objective``).
+OBJECTIVE_NAMES = ("time", "cost", "perf-per-link-dollar")
+
+#: Simulator clock: 1 GHz, so 1 cycle = 1 ns (docs/PARAMETERS.md).
+FREQUENCY_HZ = 1e9
+
+
+def floor_cycles(point: SearchPoint, op: str, size_bytes: float) -> float:
+    """Bandwidth lower bound for ``op`` on ``point``, in cycles.
+
+    Uses each NPU's aggregate egress bytes/cycle: per-link GB/s x link
+    efficiency, summed over the links the NPU drives (total links /
+    NPUs), at 1 GHz.  A simulated duration below this is a bug.
+    """
+    counts = point.link_counts()
+    local_gbps, package_gbps = point.bandwidths_gbps()
+    n = point.num_npus
+    # GB/s at 1 GHz is bytes/cycle; apply the paper's 94% efficiency.
+    per_npu_bytes_per_cycle = (
+        counts.local * local_gbps + counts.package * package_gbps
+    ) * 0.94 / n
+    return bandwidth_lower_bound_cycles(op, size_bytes, n,
+                                        per_npu_bytes_per_cycle)
+
+
+class Objective:
+    """Base scorer.  ``score`` maps (point, simulated cycles) to a
+    scalar where lower is better."""
+
+    name = "objective"
+
+    def __init__(self, cost_table: CostTable):
+        self.cost_table = cost_table
+
+    def score(self, point: SearchPoint, duration_cycles: float) -> float:
+        raise NotImplementedError
+
+    def dollars(self, point: SearchPoint) -> float:
+        """Platform capital cost, reported alongside every score."""
+        return point.dollars(self.cost_table)
+
+
+class TimeObjective(Objective):
+    """Raw collective completion time (cycles)."""
+
+    name = "time"
+
+    def score(self, point: SearchPoint, duration_cycles: float) -> float:
+        return duration_cycles
+
+
+class CostObjective(Objective):
+    """Amortized $/step: capital cost x occupancy / lifetime."""
+
+    name = "cost"
+
+    def score(self, point: SearchPoint, duration_cycles: float) -> float:
+        return dollars_per_step(self.dollars(point), duration_cycles,
+                                self.cost_table, frequency_hz=FREQUENCY_HZ)
+
+
+class PerfPerLinkDollarObjective(Objective):
+    """Negated GB/s per interconnect dollar (lower is better)."""
+
+    name = "perf-per-link-dollar"
+
+    def __init__(self, cost_table: CostTable, size_bytes: float):
+        super().__init__(cost_table)
+        self.size_bytes = size_bytes
+
+    def score(self, point: SearchPoint, duration_cycles: float) -> float:
+        local_gbps, package_gbps = point.bandwidths_gbps()
+        interconnect = link_dollars(point.link_counts(), local_gbps,
+                                    package_gbps, self.cost_table)
+        return -perf_per_link_dollar(self.size_bytes, duration_cycles,
+                                     interconnect, frequency_hz=FREQUENCY_HZ)
+
+
+def make_objective(name: str, cost_table: CostTable,
+                   size_bytes: float) -> Objective:
+    """Objective factory keyed by CLI name."""
+    if name == "time":
+        return TimeObjective(cost_table)
+    if name == "cost":
+        return CostObjective(cost_table)
+    if name == "perf-per-link-dollar":
+        return PerfPerLinkDollarObjective(cost_table, size_bytes)
+    raise ConfigError(
+        f"unknown objective {name!r}; expected one of {', '.join(OBJECTIVE_NAMES)}")

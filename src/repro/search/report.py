@@ -1,0 +1,86 @@
+"""Ranked frontier reports for `astra-repro search` (table + JSON)."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.search.driver import Evaluation
+
+
+@dataclass
+class SearchReport:
+    """Everything a finished search reports: the ranked frontier plus
+    the run's accounting (budget spent, simulations, cache traffic)."""
+
+    space: str
+    num_npus: int
+    collective: str
+    size_bytes: float
+    objective: str
+    strategy: str
+    seed: int
+    budget: int
+    frontier: list[Evaluation] = field(default_factory=list)
+    evaluations: int = 0
+    simulations: int = 0
+    cache_summary: Optional[str] = None
+
+    @property
+    def best(self) -> Optional[Evaluation]:
+        return self.frontier[0] if self.frontier else None
+
+    def format_table(self, top: int = 10) -> str:
+        """Ranked table of the best ``top`` points."""
+        lines = [
+            f"search space: {self.space} ({self.num_npus} NPUs, "
+            f"{self.collective}, {self.size_bytes / 1024.0:.0f} KB)",
+            f"objective: {self.objective}  strategy: {self.strategy}  "
+            f"seed: {self.seed}",
+            f"evaluated {self.evaluations} unique points "
+            f"({self.simulations} simulated, budget {self.budget})",
+        ]
+        if not self.frontier:
+            lines.append("no feasible points evaluated")
+            return "\n".join(lines)
+        best_score = self.frontier[0].score
+        header = (f"{'rank':>4}  {'score':>14}  {'vs best':>8}  "
+                  f"{'cycles':>14}  {'x floor':>7}  label")
+        lines.append(header)
+        lines.append("-" * len(header))
+        for rank, ev in enumerate(self.frontier[:top], start=1):
+            if best_score != 0:
+                vs_best = f"{ev.score / best_score:8.3f}"
+            else:
+                vs_best = "     n/a"
+            floor_note = f"{ev.floor_ratio:7.2f}"
+            if ev.floor_ratio < 1.0:
+                floor_note += " !"  # beat the bandwidth floor: impossible
+            lines.append(
+                f"{rank:>4}  {ev.score:14.4f}  {vs_best}  "
+                f"{ev.duration_cycles:14.1f}  {floor_note}  {ev.label}")
+        if len(self.frontier) > top:
+            lines.append(f"... and {len(self.frontier) - top} more points")
+        return "\n".join(lines)
+
+    def to_dict(self, top: Optional[int] = None) -> dict:
+        frontier = self.frontier if top is None else self.frontier[:top]
+        return {
+            "space": self.space,
+            "num_npus": self.num_npus,
+            "collective": self.collective,
+            "size_bytes": self.size_bytes,
+            "objective": self.objective,
+            "strategy": self.strategy,
+            "seed": self.seed,
+            "budget": self.budget,
+            "evaluations": self.evaluations,
+            "simulations": self.simulations,
+            "frontier": [ev.to_dict() for ev in frontier],
+        }
+
+    def write_json(self, path: str, top: Optional[int] = None) -> None:
+        with open(path, "w") as f:
+            json.dump(self.to_dict(top=top), f, indent=2, sort_keys=True)
+            f.write("\n")

@@ -1,0 +1,572 @@
+"""Declarative, JSON-loadable design spaces for `astra-repro search`.
+
+A :class:`SearchSpace` spans the paper's Fig. 1 co-design axes — topology
+family and shape, bandwidth partitioning (ring/switch counts, symmetric
+links), collective algorithm, scheduler policy and chunk count — as a
+cross product of named *axes*, each a finite ordered list of values.  A
+candidate is a *genome*: one index per axis, in :data:`AXIS_NAMES` order.
+Genomes decode to frozen :class:`SearchPoint` records, which build
+harness :class:`~repro.harness.runners.PlatformSpec` platforms via the
+module-level :func:`platform_for_point` (module-level so executor points
+stay picklable for process pools).
+
+Not every gene matters for every point — a torus genome's
+``alltoall_shape`` and ``global_switches`` genes are dead, as are ring
+counts on size-1 dimensions.  :meth:`SearchSpace.canonical` zeroes dead
+genes so that equivalent genomes collapse to one evaluated point and
+revisits are free.
+
+Validation happens in two layers: :func:`repro.sanitize.lint_search_space`
+lints the raw JSON (unknown keys, empty axes, out-of-range bounds) with
+parameter-anchored findings, and construction here rejects anything a
+simulation could not run (infeasible shapes, impossible constraints)
+with :class:`~repro.errors.ConfigError`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+from repro.analytical.cost_models import (
+    CostTable,
+    LinkCounts,
+    alltoall_link_counts,
+    platform_dollars,
+    torus_link_counts,
+)
+from repro.collectives.types import CollectiveOp
+from repro.config.parameters import (
+    AllToAllShape,
+    CollectiveAlgorithm,
+    SchedulingPolicy,
+    TorusShape,
+)
+from repro.config.presets import PAPER_LOCAL_LINK, PAPER_PACKAGE_LINK
+from repro.errors import ConfigError
+from repro.harness.runners import PlatformSpec, alltoall_platform, torus_platform
+
+#: Top-level keys a search-space JSON document may carry.
+SPACE_KEYS = {"name", "num_npus", "collective", "size_bytes", "axes",
+              "constraints", "cost"}
+
+#: Axis names in genome order.  A genome is one index per axis.
+AXIS_NAMES = (
+    "topology",
+    "torus_shape",
+    "alltoall_shape",
+    "algorithm",
+    "scheduling_policy",
+    "chunks",
+    "local_rings",
+    "horizontal_rings",
+    "vertical_rings",
+    "global_switches",
+    "symmetric",
+)
+
+#: Keys of the optional ``constraints`` section.
+CONSTRAINT_KEYS = {"max_links_per_npu", "max_platform_dollars"}
+
+#: Collective names accepted by the ``collective`` field.
+COLLECTIVE_NAMES = ("allreduce", "allgather", "reducescatter", "alltoall")
+
+_TOPOLOGIES = ("Torus", "AllToAll")
+_ALGORITHMS = tuple(a.value for a in CollectiveAlgorithm)
+_POLICIES = tuple(p.value for p in SchedulingPolicy)
+
+#: How many feasibility-rejected samples :meth:`random_point` tolerates
+#: before concluding the constraints admit no point at all.
+_SAMPLE_RETRIES = 2000
+
+
+@dataclass(frozen=True)
+class SearchPoint:
+    """One decoded design point: everything needed to build a platform."""
+
+    topology: str
+    shape: tuple[int, ...]
+    algorithm: str
+    scheduling_policy: str
+    chunks: int
+    local_rings: int
+    horizontal_rings: int
+    vertical_rings: int
+    global_switches: int
+    symmetric: bool
+
+    @property
+    def num_npus(self) -> int:
+        product = 1
+        for d in self.shape:
+            product *= d
+        return product
+
+    @property
+    def label(self) -> str:
+        shape = "x".join(str(d) for d in self.shape)
+        sym = "/sym" if self.symmetric else ""
+        if self.topology == "Torus":
+            rings = f"r{self.local_rings}.{self.horizontal_rings}.{self.vertical_rings}"
+            return (f"torus-{shape}/{self.algorithm}/{self.scheduling_policy}"
+                    f"/c{self.chunks}/{rings}{sym}")
+        return (f"alltoall-{shape}/{self.algorithm}/{self.scheduling_policy}"
+                f"/c{self.chunks}/r{self.local_rings}/s{self.global_switches}{sym}")
+
+    def link_counts(self) -> LinkCounts:
+        """Link inventory via the closed forms in
+        :mod:`repro.analytical.cost_models`."""
+        if self.topology == "Torus":
+            return torus_link_counts(
+                *self.shape,
+                local_rings=self.local_rings,
+                horizontal_rings=self.horizontal_rings,
+                vertical_rings=self.vertical_rings,
+            )
+        return alltoall_link_counts(
+            *self.shape,
+            local_rings=self.local_rings,
+            global_switches=self.global_switches,
+        )
+
+    def bandwidths_gbps(self) -> tuple[float, float]:
+        """(local, package) per-link bandwidth in GB/s for this point —
+        the Table IV classes, equalized under ``symmetric``."""
+        local = (PAPER_PACKAGE_LINK if self.symmetric else PAPER_LOCAL_LINK)
+        return local.bandwidth_gbps, PAPER_PACKAGE_LINK.bandwidth_gbps
+
+    def dollars(self, table: CostTable) -> float:
+        """Platform capital cost under ``table`` (NPUs + interconnect)."""
+        local_gbps, package_gbps = self.bandwidths_gbps()
+        return platform_dollars(self.link_counts(), self.num_npus,
+                                local_gbps, package_gbps, table)
+
+
+def platform_for_point(point: SearchPoint) -> PlatformSpec:
+    """Build the harness platform for one decoded point.
+
+    Module-level (not a closure) so ``functools.partial`` over it is
+    picklable and search evaluations can cross process boundaries.
+    """
+    algorithm = CollectiveAlgorithm(point.algorithm)
+    policy = SchedulingPolicy(point.scheduling_policy)
+    if point.topology == "Torus":
+        return torus_platform(
+            TorusShape(*point.shape),
+            algorithm=algorithm,
+            scheduling_policy=policy,
+            symmetric=point.symmetric,
+            local_rings=point.local_rings,
+            horizontal_rings=point.horizontal_rings,
+            vertical_rings=point.vertical_rings,
+            preferred_set_splits=point.chunks,
+        )
+    return alltoall_platform(
+        AllToAllShape(*point.shape),
+        algorithm=algorithm,
+        scheduling_policy=policy,
+        symmetric=point.symmetric,
+        local_rings=point.local_rings,
+        global_switches=point.global_switches,
+        preferred_set_splits=point.chunks,
+    )
+
+
+def parse_shape_value(value: Any, arity: int, num_npus: int,
+                      axis: str) -> tuple[int, ...]:
+    """Parse one shape axis value (``"2x4x1"`` or ``[2, 4, 1]``)."""
+    if isinstance(value, str):
+        try:
+            dims = tuple(int(tok) for tok in value.lower().split("x"))
+        except ValueError:
+            raise ConfigError(f"{axis}: bad shape {value!r}") from None
+    elif isinstance(value, (list, tuple)):
+        dims = tuple(value)
+    else:
+        raise ConfigError(f"{axis}: shape must be a string or list, got {value!r}")
+    if len(dims) != arity or not all(isinstance(d, int) and d >= 1 for d in dims):
+        raise ConfigError(
+            f"{axis}: shape {value!r} must have {arity} dimensions >= 1")
+    product = 1
+    for d in dims:
+        product *= d
+    if product != num_npus:
+        raise ConfigError(
+            f"{axis}: shape {value!r} yields {product} NPUs, space declares "
+            f"num_npus={num_npus}")
+    return dims
+
+
+def _factorizations(n: int, dims: int) -> list[tuple[int, ...]]:
+    """All ordered ``dims``-tuples of ints >= 1 whose product is ``n``."""
+    if dims == 1:
+        return [(n,)]
+    out = []
+    for first in range(1, n + 1):
+        if n % first == 0:
+            out.extend((first, *rest) for rest in _factorizations(n // first, dims - 1))
+    return out
+
+
+def _default_axes(num_npus: int) -> dict[str, tuple]:
+    """Axis defaults when the JSON omits an axis entirely."""
+    alltoall_shapes = tuple(
+        s for s in _factorizations(num_npus, 2) if s[1] >= 2)
+    return {
+        "topology": _TOPOLOGIES if alltoall_shapes else ("Torus",),
+        "torus_shape": tuple(_factorizations(num_npus, 3)),
+        "alltoall_shape": alltoall_shapes,
+        "algorithm": _ALGORITHMS,
+        "scheduling_policy": _POLICIES,
+        "chunks": (1, 4, 16),
+        "local_rings": (1, 2),
+        "horizontal_rings": (1, 2),
+        "vertical_rings": (1, 2),
+        "global_switches": (1, 2, 4),
+        "symmetric": (False, True),
+    }
+
+
+class SearchSpace:
+    """A validated cross product of design axes plus the workload point
+    (one collective at one payload size) candidates are judged on."""
+
+    def __init__(self, name: str, num_npus: int, collective: CollectiveOp,
+                 size_bytes: float, axes: dict[str, tuple],
+                 constraints: Optional[dict] = None,
+                 cost_table: Optional[CostTable] = None,
+                 source: str = ""):
+        if num_npus < 2:
+            raise ConfigError(f"search space needs num_npus >= 2, got {num_npus}")
+        if size_bytes <= 0:
+            raise ConfigError(f"size_bytes must be positive, got {size_bytes}")
+        self.name = name
+        self.num_npus = num_npus
+        self.collective = collective
+        self.size_bytes = float(size_bytes)
+        self.axes = {axis: tuple(axes[axis]) for axis in AXIS_NAMES}
+        self.constraints = dict(constraints or {})
+        self.cost_table = cost_table if cost_table is not None else CostTable()
+        self.source = source
+        self._validate()
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, data: dict, source: str = "") -> "SearchSpace":
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"search space must be a JSON object, got {type(data).__name__}")
+        unknown = sorted(set(data) - SPACE_KEYS)
+        if unknown:
+            raise ConfigError(f"unknown search-space keys: {unknown}")
+        try:
+            num_npus = int(data["num_npus"])
+        except (KeyError, TypeError, ValueError):
+            raise ConfigError("search space needs an integer num_npus") from None
+        collective_name = data.get("collective", "allreduce")
+        if collective_name not in COLLECTIVE_NAMES:
+            raise ConfigError(
+                f"unknown collective {collective_name!r}; expected one of "
+                f"{', '.join(COLLECTIVE_NAMES)}")
+        raw_axes = data.get("axes", {})
+        if not isinstance(raw_axes, dict):
+            raise ConfigError("axes must be an object mapping axis -> values")
+        unknown_axes = sorted(set(raw_axes) - set(AXIS_NAMES))
+        if unknown_axes:
+            raise ConfigError(f"unknown axes: {unknown_axes}")
+        defaults = _default_axes(num_npus)
+        axes: dict[str, tuple] = {}
+        for axis in AXIS_NAMES:
+            if axis in raw_axes:
+                values = raw_axes[axis]
+                if not isinstance(values, list) or not values:
+                    raise ConfigError(f"axis {axis!r} must be a non-empty list")
+                axes[axis] = cls._parse_axis(axis, values, num_npus)
+            else:
+                axes[axis] = defaults[axis]
+        constraints = data.get("constraints") or {}
+        if not isinstance(constraints, dict):
+            raise ConfigError("constraints must be an object")
+        unknown_constraints = sorted(set(constraints) - CONSTRAINT_KEYS)
+        if unknown_constraints:
+            raise ConfigError(f"unknown constraints: {unknown_constraints}")
+        cost_data = data.get("cost")
+        cost_table = CostTable.from_dict(cost_data) if cost_data else None
+        return cls(
+            name=str(data.get("name", source or "search-space")),
+            num_npus=num_npus,
+            collective=CollectiveOp(collective_name),
+            size_bytes=float(data.get("size_bytes", 4 * 1024 * 1024)),
+            axes=axes,
+            constraints=constraints,
+            cost_table=cost_table,
+            source=source,
+        )
+
+    @classmethod
+    def from_file(cls, path: str) -> "SearchSpace":
+        try:
+            with open(path) as f:
+                data = json.load(f)
+        except OSError as exc:
+            raise ConfigError(f"cannot read search space: {exc}") from None
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"search space {path}: invalid JSON: {exc}") from None
+        return cls.from_dict(data, source=str(path))
+
+    @staticmethod
+    def _parse_axis(axis: str, values: list, num_npus: int) -> tuple:
+        if axis == "topology":
+            for v in values:
+                if v not in _TOPOLOGIES:
+                    raise ConfigError(
+                        f"topology axis value {v!r} must be one of {_TOPOLOGIES}")
+            return tuple(values)
+        if axis == "torus_shape":
+            return tuple(parse_shape_value(v, 3, num_npus, axis) for v in values)
+        if axis == "alltoall_shape":
+            shapes = tuple(parse_shape_value(v, 2, num_npus, axis) for v in values)
+            for s in shapes:
+                if s[1] < 2:
+                    raise ConfigError(
+                        f"alltoall_shape: {s} needs at least 2 packages")
+            return shapes
+        if axis == "algorithm":
+            for v in values:
+                if v not in _ALGORITHMS:
+                    raise ConfigError(
+                        f"algorithm axis value {v!r} must be one of {_ALGORITHMS}")
+            return tuple(values)
+        if axis == "scheduling_policy":
+            for v in values:
+                if v not in _POLICIES:
+                    raise ConfigError(
+                        f"scheduling_policy axis value {v!r} must be one of "
+                        f"{_POLICIES}")
+            return tuple(values)
+        if axis == "symmetric":
+            for v in values:
+                if not isinstance(v, bool):
+                    raise ConfigError(
+                        f"symmetric axis values must be booleans, got {v!r}")
+            return tuple(values)
+        # Integer axes: chunks, ring counts, global switches.
+        for v in values:
+            if isinstance(v, bool) or not isinstance(v, int) or v < 1:
+                raise ConfigError(
+                    f"axis {axis!r} values must be integers >= 1, got {v!r}")
+        return tuple(values)
+
+    def _validate(self) -> None:
+        for axis in AXIS_NAMES:
+            if not self.axes[axis] and axis not in ("torus_shape", "alltoall_shape"):
+                raise ConfigError(f"axis {axis!r} has no values")
+        if "Torus" in self.axes["topology"] and not self.axes["torus_shape"]:
+            raise ConfigError(
+                "topology axis includes 'Torus' but no torus_shape matches "
+                f"num_npus={self.num_npus}")
+        if "AllToAll" in self.axes["topology"] and not self.axes["alltoall_shape"]:
+            raise ConfigError(
+                "topology axis includes 'AllToAll' but no alltoall_shape "
+                f"matches num_npus={self.num_npus}")
+        max_links = self.constraints.get("max_links_per_npu")
+        if max_links is not None and (isinstance(max_links, bool)
+                                      or not isinstance(max_links, int)
+                                      or max_links < 1):
+            raise ConfigError(
+                f"max_links_per_npu must be an integer >= 1, got {max_links!r}")
+        max_dollars = self.constraints.get("max_platform_dollars")
+        if max_dollars is not None and (isinstance(max_dollars, bool)
+                                        or not isinstance(max_dollars, (int, float))
+                                        or max_dollars <= 0):
+            raise ConfigError(
+                f"max_platform_dollars must be positive, got {max_dollars!r}")
+
+    # -- genomes -------------------------------------------------------------
+
+    @property
+    def genome_length(self) -> int:
+        return len(AXIS_NAMES)
+
+    def axis_size(self, axis: str) -> int:
+        return len(self.axes[axis])
+
+    def num_genomes(self) -> int:
+        """Size of the raw cross product (counts equivalent genomes)."""
+        product = 1
+        for axis in AXIS_NAMES:
+            product *= max(1, len(self.axes[axis]))
+        return product
+
+    def _check_genome(self, genome: Sequence[int]) -> None:
+        if len(genome) != len(AXIS_NAMES):
+            raise ConfigError(
+                f"genome must have {len(AXIS_NAMES)} genes, got {len(genome)}")
+        for axis, gene in zip(AXIS_NAMES, genome):
+            size = max(1, len(self.axes[axis]))
+            if not 0 <= gene < size:
+                raise ConfigError(
+                    f"gene for axis {axis!r} out of range: {gene} not in "
+                    f"[0, {size})")
+
+    def decode(self, genome: Sequence[int]) -> SearchPoint:
+        """The design point a genome denotes."""
+        self._check_genome(genome)
+        genes = dict(zip(AXIS_NAMES, genome))
+
+        def value(axis: str):
+            return self.axes[axis][genes[axis]]
+
+        topology = value("topology")
+        shape = value("torus_shape" if topology == "Torus" else "alltoall_shape")
+        return SearchPoint(
+            topology=topology,
+            shape=shape,
+            algorithm=value("algorithm"),
+            scheduling_policy=value("scheduling_policy"),
+            chunks=value("chunks"),
+            local_rings=value("local_rings"),
+            horizontal_rings=value("horizontal_rings"),
+            vertical_rings=value("vertical_rings"),
+            global_switches=value("global_switches"),
+            symmetric=value("symmetric"),
+        )
+
+    def canonical(self, genome: Sequence[int]) -> tuple[int, ...]:
+        """Zero out dead genes so equivalent genomes compare equal.
+
+        A torus point ignores ``alltoall_shape`` and ``global_switches``;
+        an alltoall point ignores ``torus_shape`` and the horizontal and
+        vertical ring counts; ring counts on size-1 dimensions are dead
+        for both (verified no-ops in the simulator).
+        """
+        self._check_genome(genome)
+        genes = dict(zip(AXIS_NAMES, genome))
+        topology = self.axes["topology"][genes["topology"]]
+        if topology == "Torus":
+            shape = self.axes["torus_shape"][genes["torus_shape"]]
+            genes["alltoall_shape"] = 0
+            genes["global_switches"] = 0
+            if shape[0] == 1:
+                genes["local_rings"] = 0
+            if shape[1] == 1:
+                genes["horizontal_rings"] = 0
+            if shape[2] == 1:
+                genes["vertical_rings"] = 0
+        else:
+            shape = self.axes["alltoall_shape"][genes["alltoall_shape"]]
+            genes["torus_shape"] = 0
+            genes["horizontal_rings"] = 0
+            genes["vertical_rings"] = 0
+            if shape[0] == 1:
+                genes["local_rings"] = 0
+        return tuple(genes[axis] for axis in AXIS_NAMES)
+
+    # -- feasibility ---------------------------------------------------------
+
+    def is_feasible(self, genome: Sequence[int]) -> bool:
+        """Whether the decoded point passes the space's constraints.
+
+        Infeasible-by-construction points (shape/NPU mismatches, bad
+        enum values) are rejected at load time; this checks the
+        cross-axis constraints a single axis cannot express.
+        """
+        point = self.decode(genome)
+        if point.topology == "AllToAll":
+            # More switch planes than peer packages duplicates paths the
+            # direct algorithms never schedule — reject as wasted budget.
+            if point.global_switches > point.shape[1] - 1:
+                return False
+        max_links = self.constraints.get("max_links_per_npu")
+        if max_links is not None:
+            counts = point.link_counts()
+            if counts.total_links > max_links * self.num_npus:
+                return False
+        max_dollars = self.constraints.get("max_platform_dollars")
+        if max_dollars is not None:
+            if point.dollars(self.cost_table) > max_dollars:
+                return False
+        return True
+
+    # -- sampling and variation (used by the strategies) ---------------------
+
+    def random_genome(self, rng) -> tuple[int, ...]:
+        """One feasible canonical genome drawn from ``rng`` (seeded
+        ``random.Random``); raises when constraints admit no point."""
+        for _ in range(_SAMPLE_RETRIES):
+            genome = tuple(rng.randrange(max(1, len(self.axes[axis])))
+                           for axis in AXIS_NAMES)
+            if self.is_feasible(genome):
+                return self.canonical(genome)
+        raise ConfigError(
+            f"search space {self.name!r}: no feasible point found after "
+            f"{_SAMPLE_RETRIES} samples; constraints are too tight")
+
+    def mutate(self, rng, genome: Sequence[int],
+               rate: float = 0.25) -> tuple[int, ...]:
+        """Resample each gene with probability ``rate``; at least one
+        gene always changes.  Falls back to a fresh random genome when
+        no feasible mutant is found nearby."""
+        genome = tuple(genome)
+        variable = [(i, axis) for i, axis in enumerate(AXIS_NAMES)
+                    if len(self.axes[axis]) > 1]
+        if not variable:
+            return self.canonical(genome)
+        for _ in range(_SAMPLE_RETRIES // 10):
+            mutant = list(genome)
+            changed = False
+            for i, axis in enumerate(AXIS_NAMES):
+                size = max(1, len(self.axes[axis]))
+                if size > 1 and rng.random() < rate:
+                    mutant[i] = rng.randrange(size)
+                    changed = True
+            if not changed:
+                i, axis = rng.choice(variable)
+                mutant[i] = rng.randrange(len(self.axes[axis]))
+            if self.is_feasible(mutant):
+                return self.canonical(mutant)
+        return self.random_genome(rng)
+
+    def crossover(self, rng, a: Sequence[int],
+                  b: Sequence[int]) -> tuple[int, ...]:
+        """Uniform crossover of two parents; infeasible children fall
+        back to the fitter-by-convention first parent."""
+        a, b = tuple(a), tuple(b)
+        for _ in range(_SAMPLE_RETRIES // 10):
+            child = tuple(x if rng.random() < 0.5 else y for x, y in zip(a, b))
+            if self.is_feasible(child):
+                return self.canonical(child)
+        return self.canonical(a)
+
+    # -- exhaustive enumeration ----------------------------------------------
+
+    def enumerate_genomes(self, limit: int = 100_000) -> list[tuple[int, ...]]:
+        """Every distinct feasible canonical genome, in deterministic
+        lexicographic order — the exhaustive-grid baseline searches are
+        judged against.  Guarded by ``limit``: enumerating a space this
+        size is exactly what the optimizer exists to avoid."""
+        if self.num_genomes() > limit:
+            raise ConfigError(
+                f"search space {self.name!r} has {self.num_genomes()} genomes; "
+                f"refusing to enumerate more than {limit}")
+        seen: set[tuple[int, ...]] = set()
+        out: list[tuple[int, ...]] = []
+        sizes = [max(1, len(self.axes[axis])) for axis in AXIS_NAMES]
+        genome = [0] * len(sizes)
+        while True:
+            g = tuple(genome)
+            if self.is_feasible(g):
+                canon = self.canonical(g)
+                if canon not in seen:
+                    seen.add(canon)
+                    out.append(canon)
+            # Odometer increment in lexicographic order.
+            for i in range(len(sizes) - 1, -1, -1):
+                genome[i] += 1
+                if genome[i] < sizes[i]:
+                    break
+                genome[i] = 0
+            else:
+                return out

@@ -1,0 +1,129 @@
+"""Seeded search strategies over encoded genomes.
+
+A :class:`Strategy` proposes generations of genomes (``ask``) and learns
+from their scores (``tell``).  The driver owns evaluation — batching
+each generation through the parallel executor and deduplicating against
+its memo — so strategies stay pure proposal logic and determinism
+reduces to one rule: all randomness flows from the ``random.Random``
+seeded at construction, and all sorts break ties on the genome tuple.
+
+``ask`` may propose duplicates or already-seen genomes; they cost
+nothing (driver memo, then the content-addressed run cache) and keeping
+them makes the proposal stream independent of evaluation history, which
+is what lets a warm-cache rerun replay the exact trajectory.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.search.space import SearchSpace
+
+#: Names accepted by :func:`make_strategy` (and the CLI ``--strategy``).
+STRATEGY_NAMES = ("random", "evolutionary")
+
+Genome = tuple[int, ...]
+
+
+class Strategy:
+    """Base strategy: propose genomes, absorb scores."""
+
+    name = "strategy"
+
+    def __init__(self, space: SearchSpace, seed: int):
+        self.space = space
+        self.seed = seed
+        self.rng = random.Random(seed)
+
+    def ask(self) -> list[Genome]:
+        """The next generation of candidate genomes (may repeat)."""
+        raise NotImplementedError
+
+    def tell(self, scored: Sequence[tuple[Genome, float]]) -> None:
+        """Scores for the genomes of the last ``ask``, in ask order."""
+
+
+class RandomStrategy(Strategy):
+    """Pure random search: every generation is fresh feasible samples."""
+
+    name = "random"
+
+    def __init__(self, space: SearchSpace, seed: int,
+                 generation_size: int = 8):
+        super().__init__(space, seed)
+        if generation_size < 1:
+            raise ConfigError(
+                f"generation_size must be >= 1, got {generation_size}")
+        self.generation_size = generation_size
+
+    def ask(self) -> list[Genome]:
+        return [self.space.random_genome(self.rng)
+                for _ in range(self.generation_size)]
+
+
+class EvolutionaryStrategy(Strategy):
+    """(mu + lambda) evolution over the encoded space.
+
+    Generation 0 samples ``mu + lam`` random genomes.  After each
+    ``tell``, survivors are the best ``mu`` of parents-plus-offspring
+    (sorted by score, ties broken by genome so ranking never depends on
+    arrival order); each later ``ask`` breeds ``lam`` children by
+    uniform crossover of two survivors followed by per-gene mutation.
+    """
+
+    name = "evolutionary"
+
+    def __init__(self, space: SearchSpace, seed: int, mu: int = 4,
+                 lam: int = 8, mutation_rate: float = 0.25):
+        super().__init__(space, seed)
+        if mu < 1 or lam < 1:
+            raise ConfigError(f"mu and lambda must be >= 1, got mu={mu} lam={lam}")
+        if not 0.0 < mutation_rate <= 1.0:
+            raise ConfigError(
+                f"mutation_rate must be in (0, 1], got {mutation_rate}")
+        self.mu = mu
+        self.lam = lam
+        self.mutation_rate = mutation_rate
+        #: Best-first (score, genome) survivors, at most ``mu`` long.
+        self.population: list[tuple[float, Genome]] = []
+
+    def ask(self) -> list[Genome]:
+        if not self.population:
+            return [self.space.random_genome(self.rng)
+                    for _ in range(self.mu + self.lam)]
+        children = []
+        for _ in range(self.lam):
+            a = self.rng.choice(self.population)[1]
+            b = self.rng.choice(self.population)[1]
+            child = self.space.crossover(self.rng, a, b)
+            children.append(
+                self.space.mutate(self.rng, child, rate=self.mutation_rate))
+        return children
+
+    def tell(self, scored: Sequence[tuple[Genome, float]]) -> None:
+        merged = {genome: score for score, genome in self.population}
+        for genome, score in scored:
+            prior = merged.get(genome)
+            if prior is None or score < prior:
+                merged[genome] = score
+        ranked = sorted(((score, genome) for genome, score in merged.items()),
+                        key=lambda pair: (pair[0], pair[1]))
+        self.population = ranked[:self.mu]
+
+
+def make_strategy(name: str, space: SearchSpace, seed: int,
+                  generation_size: Optional[int] = None,
+                  mu: Optional[int] = None, lam: Optional[int] = None,
+                  mutation_rate: Optional[float] = None) -> Strategy:
+    """Strategy factory keyed by CLI name; None falls back to defaults."""
+    if name == "random":
+        return RandomStrategy(space, seed,
+                              generation_size=generation_size or 8)
+    if name == "evolutionary":
+        return EvolutionaryStrategy(
+            space, seed, mu=mu or 4, lam=lam or 8,
+            mutation_rate=mutation_rate if mutation_rate is not None else 0.25)
+    raise ConfigError(
+        f"unknown strategy {name!r}; expected one of {', '.join(STRATEGY_NAMES)}")

@@ -4,16 +4,25 @@ data-volume arithmetic."""
 import pytest
 
 from repro.analytical import (
+    CostTable,
+    LinkCounts,
     LinkParams,
+    alltoall_link_counts,
+    bandwidth_lower_bound_cycles,
     direct_all_reduce_cycles,
     direct_reduce_scatter_cycles,
+    dollars_per_step,
     hierarchical_all_reduce_volume,
+    link_dollars,
+    perf_per_link_dollar,
+    platform_dollars,
     ring_all_gather_cycles,
     ring_all_reduce_cycles,
     ring_all_to_all_cycles,
     ring_reduce_scatter_cycles,
+    torus_link_counts,
 )
-from repro.errors import CollectiveError
+from repro.errors import CollectiveError, ConfigError
 
 LINK = LinkParams(bytes_per_cycle=100.0, latency_cycles=50.0,
                   endpoint_delay_cycles=10.0)
@@ -106,3 +115,112 @@ class TestSectionVBVolumes:
         assert hierarchical_all_reduce_volume([1, 1, 1], enhanced=False) == 0.0
         assert hierarchical_all_reduce_volume([1, 8, 1], enhanced=True) == \
             pytest.approx(2 * 7 / 8)
+
+
+class TestBandwidthFloor:
+    def test_all_reduce_moves_twice_the_single_pass_volume(self):
+        # 2 x (3/4) x 8000 / 100 = 120 cycles.
+        assert bandwidth_lower_bound_cycles("allreduce", 8000.0, 4, 100.0) \
+            == pytest.approx(120.0)
+        assert bandwidth_lower_bound_cycles("allgather", 8000.0, 4, 100.0) \
+            == pytest.approx(60.0)
+        assert bandwidth_lower_bound_cycles("alltoall", 8000.0, 4, 100.0) \
+            == pytest.approx(60.0)
+
+    def test_unknown_collective(self):
+        with pytest.raises(CollectiveError):
+            bandwidth_lower_bound_cycles("broadcast", 8000.0, 4, 100.0)
+
+    def test_floor_never_beats_ring_closed_form(self):
+        floor = bandwidth_lower_bound_cycles("allreduce", 64000.0, 8, 100.0)
+        assert ring_all_reduce_cycles(64000.0, 8, LINK) >= floor
+
+
+class TestLinkCounts:
+    def test_torus_closed_form(self):
+        # 2x4x1, 8 NPUs: local 8x2 unidirectional; horizontal 8x1
+        # bidirectional rings = 16 links; vertical size 1 contributes 0.
+        counts = torus_link_counts(2, 4, 1, local_rings=2,
+                                   horizontal_rings=1, vertical_rings=3)
+        assert counts == LinkCounts(local=16, package=16, switches=0)
+
+    def test_torus_size1_dims_are_free(self):
+        counts = torus_link_counts(1, 8, 1, local_rings=2,
+                                   horizontal_rings=4, vertical_rings=2)
+        assert counts == LinkCounts(local=0, package=64, switches=0)
+
+    def test_torus_matches_built_fabric(self):
+        from repro.config.parameters import SystemConfig, TorusShape
+        from repro.config.presets import paper_network_config
+        from repro.topology.logical import build_torus_topology
+
+        system = SystemConfig(local_rings=2, horizontal_rings=1,
+                              vertical_rings=1)
+        topology = build_torus_topology(TorusShape(2, 4, 1),
+                                        paper_network_config(), system)
+        counts = torus_link_counts(2, 4, 1, local_rings=2,
+                                   horizontal_rings=1, vertical_rings=1)
+        assert counts.total_links == topology.fabric.total_links()
+
+    def test_alltoall_closed_form(self):
+        # 1x8 with 7 switches: no local rings, one uplink per NPU per
+        # switch (the fig09 setup).
+        counts = alltoall_link_counts(1, 8, local_rings=2, global_switches=7)
+        assert counts == LinkCounts(local=0, package=56, switches=7)
+        counts = alltoall_link_counts(2, 4, local_rings=2, global_switches=2)
+        assert counts == LinkCounts(local=16, package=16, switches=2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            torus_link_counts(0, 4, 1)
+        with pytest.raises(ConfigError):
+            torus_link_counts(2, 4, 1, local_rings=0)
+        with pytest.raises(ConfigError):
+            alltoall_link_counts(2, 1)
+
+
+class TestCostTable:
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ConfigError, match="cost-table"):
+            CostTable.from_dict({"link_dollars": 1.0})
+
+    def test_rejects_negative_prices(self):
+        with pytest.raises(ConfigError):
+            CostTable(npu_dollars=-1.0)
+        with pytest.raises(ConfigError):
+            CostTable(amortization_seconds=0.0)
+
+    def test_link_dollars_closed_form(self):
+        table = CostTable(local_link_dollars_per_gbps=2.0,
+                          package_link_dollars_per_gbps=10.0,
+                          switch_dollars=5000.0)
+        counts = LinkCounts(local=16, package=16, switches=2)
+        # 16 x 200 x 2 + 16 x 25 x 10 + 2 x 5000 = 20400.
+        assert link_dollars(counts, 200.0, 25.0, table) == \
+            pytest.approx(20_400.0)
+
+    def test_platform_dollars_adds_npus(self):
+        table = CostTable(npu_dollars=10_000.0)
+        counts = LinkCounts(local=16, package=16, switches=2)
+        assert platform_dollars(counts, 8, 200.0, 25.0, table) == \
+            pytest.approx(80_000.0 + link_dollars(counts, 200.0, 25.0, table))
+
+    def test_dollars_per_step_closed_form(self):
+        # $1000 platform, 1 s step, 100 s lifetime -> $10 per step.
+        table = CostTable(amortization_seconds=100.0)
+        assert dollars_per_step(1000.0, 1e9, table) == pytest.approx(10.0)
+
+    def test_perf_per_link_dollar_closed_form(self):
+        # 1 GB in 1 s = 1 GB/s; $2 of interconnect -> 0.5 GB/s/$.
+        assert perf_per_link_dollar(1e9, 1e9, 2.0) == pytest.approx(0.5)
+
+    def test_validation(self):
+        table = CostTable()
+        with pytest.raises(ConfigError):
+            dollars_per_step(-1.0, 10.0, table)
+        with pytest.raises(ConfigError):
+            dollars_per_step(1.0, 0.0, table)
+        with pytest.raises(ConfigError):
+            perf_per_link_dollar(10.0, 10.0, 0.0)
+        with pytest.raises(ConfigError):
+            link_dollars(LinkCounts(1, 1), 0.0, 25.0, table)
