@@ -1,13 +1,17 @@
-"""Ablation — resilience monitoring overhead on a healthy run.
+"""Ablation — resilience monitoring and supervision overhead, no faults.
 
-The monitor's contract (acceptance criterion of docs/RESILIENCE.md) is
-that observation is free in simulated time: checkpoints and the watchdog
-hang off the event queue's ``watcher`` hook, which fires after each
-executed event and never schedules anything — so a no-fault run with the
-full monitor attached must land on the exact same cycle as a bare run.
-This bench times the same all-reduce bare, with the watchdog only, and
-with watchdog + periodic checkpointing, checks cycle-identity across all
-three, and reports the wall-clock ratios.
+Two contracts, both "observation is free in simulated time":
+
+* The monitor (docs/RESILIENCE.md): checkpoints and the watchdog hang
+  off the event queue's ``watcher`` hook, which fires after each
+  executed event and never schedules anything — so a no-fault run with
+  the full monitor attached must land on the exact same cycle as a bare
+  run.  Timed bare, watchdog-only, and watchdog + checkpointing.
+* The supervisor (docs/SUPERVISION.md): deadlines, retry budgets, and
+  quarantine live entirely in the parent's dispatch loop — a no-fault
+  supervised batch must produce bit-identical cycles to the plain
+  executor, paying only wall-clock dispatch overhead (reported as a
+  ratio, bounded loosely for shared CI machines).
 """
 
 import time
@@ -18,6 +22,12 @@ from repro.config import TorusShape
 from repro.config.parameters import TransportConfig
 from repro.config.units import MB
 from repro.harness.runners import run_collective, torus_platform
+from repro.parallel import (
+    ParallelExecutor,
+    RunPoint,
+    SupervisedExecutor,
+    SupervisionPolicy,
+)
 from repro.resilience import CheckpointConfig, ResilienceConfig, WatchdogConfig
 
 from bench_common import print_table, run_once
@@ -81,3 +91,54 @@ def test_resilience_overhead(benchmark, tmp_path):
     # dict every 50k cycles.
     assert rows[1]["wall s"] < rows[0]["wall s"] * 5.0
     assert rows[2]["wall s"] < rows[0]["wall s"] * 10.0
+
+
+# -- supervised execution overhead -------------------------------------------------
+
+
+def _bench_platform():
+    return torus_platform(TorusShape(2, 4, 4))
+
+
+def _bench_points():
+    return [RunPoint(builder=_bench_platform, op=CollectiveOp.ALL_REDUCE,
+                     size_bytes=float(size))
+            for size in (MB, 2 * MB, 4 * MB)]
+
+
+def supervised_vs_plain():
+    rows = []
+    start = time.perf_counter()
+    with ParallelExecutor(jobs=1) as plain_ex:
+        plain = plain_ex.run_points(_bench_points())
+    plain_wall = time.perf_counter() - start
+
+    policy = SupervisionPolicy(point_timeout_s=600.0, max_retries=2)
+    start = time.perf_counter()
+    with SupervisedExecutor(jobs=1, policy=policy) as sup_ex:
+        outcomes = sup_ex.run_outcomes(_bench_points())
+    supervised_wall = time.perf_counter() - start
+
+    rows.append({"executor": "plain", "wall s": plain_wall,
+                 "sim cycles": sum(r.duration_cycles for r in plain)})
+    rows.append({"executor": "supervised", "wall s": supervised_wall,
+                 "sim cycles": sum(o.result.duration_cycles for o in outcomes),
+                 "overhead x": (supervised_wall / plain_wall
+                                if plain_wall else float("nan"))})
+    return plain, outcomes, rows
+
+
+def test_supervision_overhead(benchmark):
+    plain, outcomes, rows = run_once(benchmark, supervised_vs_plain)
+    print_table("Ablation: supervised execution overhead (no faults)", rows)
+
+    # Cycle identity: supervision must not perturb a healthy simulation.
+    assert all(o.ok and o.attempts == 1 for o in outcomes)
+    for reference, outcome in zip(plain, outcomes):
+        assert reference.duration_cycles == outcome.result.duration_cycles, (
+            "a supervised no-fault run must land on the exact cycle of "
+            "the plain executor")
+        assert (reference.breakdown.as_dict()
+                == outcome.result.breakdown.as_dict())
+    # Dispatch overhead only; generous bound for loaded CI boxes.
+    assert rows[1]["wall s"] < rows[0]["wall s"] * 5.0

@@ -189,6 +189,68 @@ def _add_execution_args(p: argparse.ArgumentParser) -> None:
                    help="ignore --cache-dir (always simulate fresh)")
     p.add_argument("--profile", action="store_true", default=argparse.SUPPRESS,
                    help="print per-phase wall-clock and events/sec")
+    _add_supervision_args(p, default=argparse.SUPPRESS)
+
+
+def _add_supervision_args(p: argparse.ArgumentParser, default=None) -> None:
+    """The supervised-execution flags (docs/SUPERVISION.md).  Added to
+    the root parser with real ``None`` defaults and mirrored on
+    subcommands with SUPPRESS, like the execution flags above."""
+    p.add_argument("--supervise", action="store_true",
+                   default=default if default is argparse.SUPPRESS else False,
+                   help="run design points crash-isolated: worker deaths "
+                        "retry with seeded backoff, poison points are "
+                        "quarantined and the batch continues "
+                        "(docs/SUPERVISION.md)")
+    p.add_argument("--point-timeout", type=float, default=default,
+                   metavar="SECONDS",
+                   help="wall-clock deadline per design point; a point that "
+                        "exceeds it is reaped and charged a retry "
+                        "(implies --supervise)")
+    p.add_argument("--point-event-budget", type=int, default=default,
+                   metavar="N",
+                   help="max simulated events per design point attempt "
+                        "(implies --supervise)")
+    p.add_argument("--max-point-retries", type=int, default=default,
+                   metavar="N",
+                   help="failed attempts re-run up to N times before the "
+                        "point is quarantined (default 2; implies "
+                        "--supervise)")
+    p.add_argument("--on-poison", choices=("quarantine", "fail"),
+                   default=default,
+                   help="quarantine: record the poison point and continue "
+                        "(exit 1); fail: abort the whole batch (implies "
+                        "--supervise)")
+    p.add_argument("--journal", default=default, metavar="PATH",
+                   help="append every point outcome to this JSONL journal; "
+                        "a re-run resumes past completed AND quarantined "
+                        "points (implies --supervise)")
+    p.add_argument("--quarantine-dir", default=default, metavar="DIR",
+                   help="write poison-point diagnostic bundles and the "
+                        "quarantine report into DIR (implies --supervise)")
+
+
+def _supervision_from_args(args: argparse.Namespace):
+    """(policy, journal_path, quarantine_dir) when any supervision flag
+    was given; (None, None, None) → plain unsupervised executor."""
+    given = (getattr(args, "supervise", False)
+             or any(getattr(args, key, None) is not None
+                    for key in ("point_timeout", "point_event_budget",
+                                "max_point_retries", "on_poison", "journal",
+                                "quarantine_dir")))
+    if not given:
+        return None, None, None
+    from repro.parallel import SupervisionPolicy
+
+    retries = getattr(args, "max_point_retries", None)
+    policy = SupervisionPolicy(
+        point_timeout_s=getattr(args, "point_timeout", None),
+        point_event_budget=getattr(args, "point_event_budget", None),
+        max_retries=retries if retries is not None else 2,
+        on_poison=getattr(args, "on_poison", None) or "quarantine",
+    )
+    return (policy, getattr(args, "journal", None),
+            getattr(args, "quarantine_dir", None))
 
 
 def _add_platform_args(p: argparse.ArgumentParser) -> None:
@@ -269,7 +331,15 @@ def _cmd_collective(args: argparse.Namespace) -> int:
     # --sanitize) executes fresh in-process with its system kept live.
     point = RunPoint(builder=lambda: _build_platform(args), op=_OPS[args.op],
                      size_bytes=args.size_mb * MB, sanitize=args.sanitize)
-    result = default_executor().run_points([point])[0]
+    outcome = default_executor().run_outcomes([point])[0]
+    if not outcome.ok:
+        # Supervised run quarantined the point: the partial-result
+        # contract (exit 1) is applied by main() from the quarantine.
+        print(f"{args.op} of {args.size_mb} MB: point "
+              f"{outcome.status.value} ({outcome.failure_class}) after "
+              f"{outcome.attempts} attempt(s)")
+        return 1
+    result = outcome.result
     print(f"{args.op} of {args.size_mb} MB on {result.label} "
           f"({result.num_npus} NPUs): {result.duration_cycles:,.0f} cycles")
     _record_profile(result.system)
@@ -372,6 +442,16 @@ _EXIT_CODES_DOC = """\
 exit status:
   0  clean: no findings at severity ERROR (nor WARNING, under --strict)
   1  findings at severity ERROR (or WARNING with --strict)
+  2  usage or configuration error
+"""
+
+#: Exit-code contract of supervised runs (docs/SUPERVISION.md), rendered
+#: into the root --help epilog.
+_SUPERVISED_EXIT_CODES_DOC = """\
+exit status (supervised runs; docs/SUPERVISION.md):
+  0  every design point completed
+  1  partial results: at least one point was quarantined
+     (crash / deadline / poison) — completed points are still reported
   2  usage or configuration error
 """
 
@@ -518,6 +598,8 @@ def build_arg_parser() -> argparse.ArgumentParser:
     root = argparse.ArgumentParser(
         prog="astra-repro",
         description="ASTRA-SIM reproduction: distributed DL training simulator",
+        epilog=_SUPERVISED_EXIT_CODES_DOC,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     root.add_argument("--jobs", type=int, default=1, metavar="N",
                       help="fan independent simulation points (sweep sizes, "
@@ -532,6 +614,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     root.add_argument("--profile", action="store_true",
                       help="print per-phase wall-clock and events/sec after "
                            "the command")
+    _add_supervision_args(root)
     sub = root.add_subparsers(dest="command", required=True)
 
     train = sub.add_parser("train", help="simulate a DNN training workload")
@@ -709,11 +792,19 @@ def build_arg_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_arg_parser().parse_args(argv)
 
-    from repro.parallel import configure_default, set_default_executor
+    from repro.parallel import PoisonPointError, configure_default, set_default_executor
     from repro.profiling import RunProfile, set_active_profile
 
-    executor = configure_default(jobs=args.jobs, cache_dir=args.cache_dir,
-                                 use_cache=not args.no_cache)
+    try:
+        policy, journal_path, quarantine_dir = _supervision_from_args(args)
+        executor = configure_default(jobs=args.jobs, cache_dir=args.cache_dir,
+                                     use_cache=not args.no_cache,
+                                     supervision=policy,
+                                     journal_path=journal_path,
+                                     quarantine_dir=quarantine_dir)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     profile = RunProfile(name=args.command) if args.profile else None
     set_active_profile(profile)
     try:
@@ -722,6 +813,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 rc = args.func(args)
         else:
             rc = args.func(args)
+    except PoisonPointError as exc:
+        # --on-poison=fail: the batch aborted on its first poison point.
+        print(f"error: {exc}", file=sys.stderr)
+        _report_quarantine(executor)
+        return 1
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -733,7 +829,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(executor.cache_summary())
     if profile is not None:
         print(profile.format())
+    if _report_quarantine(executor):
+        # Partial results: completed points were reported above, but at
+        # least one point is in quarantine (docs/SUPERVISION.md).
+        rc = max(rc, 1)
     return rc
+
+
+def _report_quarantine(executor) -> bool:
+    """Print the quarantine summary (and write the report file when a
+    quarantine dir is configured); True when anything was quarantined."""
+    import os
+
+    if not getattr(executor, "quarantine", None):
+        return False
+    summary = executor.quarantine_summary()
+    if summary:
+        print(summary, file=sys.stderr)
+    if executor.quarantine_dir:
+        path = executor.write_quarantine_report(
+            os.path.join(executor.quarantine_dir, "quarantine-report.json"))
+        print(f"quarantine report: {path}", file=sys.stderr)
+    return True
 
 
 if __name__ == "__main__":

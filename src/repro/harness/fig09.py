@@ -35,14 +35,24 @@ class Figure9Result:
     alltoall: list[CollectiveResult]
     torus: list[CollectiveResult]
 
+    @property
+    def complete(self) -> bool:
+        """False when a supervised run quarantined a point (gap rows)."""
+        return all(r is not None for r in self.alltoall + self.torus)
+
     def rows(self) -> list[dict[str, float]]:
+        """One row per size; quarantined points render as explicit
+        ``None`` gaps (partial figure) instead of aborting the panel."""
         out = []
         for a, t in zip(self.alltoall, self.torus):
+            present = a if a is not None else t
             out.append({
-                "size_bytes": a.size_bytes,
-                "alltoall_cycles": a.duration_cycles,
-                "torus_cycles": t.duration_cycles,
-                "torus_over_alltoall": t.duration_cycles / a.duration_cycles,
+                "size_bytes": present.size_bytes if present is not None else None,
+                "alltoall_cycles": a.duration_cycles if a is not None else None,
+                "torus_cycles": t.duration_cycles if t is not None else None,
+                "torus_over_alltoall": (t.duration_cycles / a.duration_cycles
+                                        if a is not None and t is not None
+                                        else None),
             })
         return out
 

@@ -39,17 +39,28 @@ class Figure10Result:
     collective: CollectiveOp
     by_shape: dict[str, list[CollectiveResult]]
 
+    @property
+    def complete(self) -> bool:
+        """False when a supervised run quarantined a point (gap rows)."""
+        return all(r is not None
+                   for results in self.by_shape.values() for r in results)
+
     def rows(self) -> list[dict[str, float]]:
         labels = list(self.by_shape)
         lengths = {len(v) for v in self.by_shape.values()}
         assert len(lengths) == 1
         out = []
         for i in range(min(lengths)):  # singleton by the assert; min() is order-free
+            # Quarantined points are explicit None gaps; the row's size
+            # comes from any shape that did complete at this index.
+            present = next((self.by_shape[label][i] for label in labels
+                            if self.by_shape[label][i] is not None), None)
             row: dict[str, float] = {
-                "size_bytes": self.by_shape[labels[0]][i].size_bytes
+                "size_bytes": present.size_bytes if present is not None else None
             }
             for label in labels:
-                row[label] = self.by_shape[label][i].duration_cycles
+                result = self.by_shape[label][i]
+                row[label] = result.duration_cycles if result is not None else None
             out.append(row)
         return out
 

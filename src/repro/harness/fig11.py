@@ -39,17 +39,29 @@ class Figure11Result:
     asymmetric_baseline: list[CollectiveResult]
     asymmetric_enhanced: list[CollectiveResult]
 
+    @property
+    def complete(self) -> bool:
+        """False when a supervised run quarantined a point (gap rows)."""
+        return all(r is not None for r in (self.symmetric
+                                           + self.asymmetric_baseline
+                                           + self.asymmetric_enhanced))
+
     def rows(self) -> list[dict[str, float]]:
         out = []
         for s, ab, ae in zip(self.symmetric, self.asymmetric_baseline,
                              self.asymmetric_enhanced):
+            # Quarantined points are explicit None gaps; ratios need both
+            # of their operands present.
+            present = next((r for r in (s, ab, ae) if r is not None), None)
             out.append({
-                "size_bytes": s.size_bytes,
-                "symmetric_cycles": s.duration_cycles,
-                "asym_baseline_cycles": ab.duration_cycles,
-                "asym_enhanced_cycles": ae.duration_cycles,
-                "asym_speedup": s.duration_cycles / ab.duration_cycles,
-                "enhanced_speedup": ab.duration_cycles / ae.duration_cycles,
+                "size_bytes": present.size_bytes if present is not None else None,
+                "symmetric_cycles": s.duration_cycles if s is not None else None,
+                "asym_baseline_cycles": ab.duration_cycles if ab is not None else None,
+                "asym_enhanced_cycles": ae.duration_cycles if ae is not None else None,
+                "asym_speedup": (s.duration_cycles / ab.duration_cycles
+                                 if s is not None and ab is not None else None),
+                "enhanced_speedup": (ab.duration_cycles / ae.duration_cycles
+                                     if ab is not None and ae is not None else None),
             })
         return out
 

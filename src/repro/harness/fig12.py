@@ -37,17 +37,38 @@ DEFAULT_SIZE = 2 * MB
 class Figure12Result:
     size_bytes: float
     results: list[CollectiveResult]
+    #: Shape labels in point order — lets gap rows stay attributable to
+    #: their shape when a supervised run quarantined the point.
+    shapes: Sequence[str] = ()
+
+    @property
+    def complete(self) -> bool:
+        """False when a supervised run quarantined a point (gap rows)."""
+        return all(r is not None for r in self.results)
+
+    def _shape_label(self, i: int) -> str:
+        if i < len(self.shapes):
+            return str(self.shapes[i])
+        return f"point[{i}]"
 
     def total_rows(self) -> list[dict[str, float]]:
-        """Fig. 12a: total communication time per shape."""
-        return [
-            {"shape": r.label, "modules": r.num_npus, "cycles": r.duration_cycles}
-            for r in self.results
-        ]
+        """Fig. 12a: total communication time per shape; quarantined
+        points render as explicit ``None`` gaps."""
+        rows = []
+        for i, r in enumerate(self.results):
+            if r is None:
+                rows.append({"shape": self._shape_label(i),
+                             "modules": None, "cycles": None})
+            else:
+                rows.append({"shape": r.label, "modules": r.num_npus,
+                             "cycles": r.duration_cycles})
+        return rows
 
     def breakdown_rows(self) -> dict[str, list[dict[str, float]]]:
-        """Fig. 12b: queue/network delays per phase, per shape."""
-        return {r.label: r.breakdown.rows() for r in self.results}
+        """Fig. 12b: queue/network delays per phase, per shape (gaps
+        omitted — there is no breakdown to render for a poison point)."""
+        return {r.label: r.breakdown.rows()
+                for r in self.results if r is not None}
 
 
 def _platform(shape: TorusShape):
@@ -93,4 +114,5 @@ def run(
         for shape in shapes
     ]
     return Figure12Result(size_bytes=size_bytes,
-                          results=default_executor().run_points(points))
+                          results=default_executor().run_points(points),
+                          shapes=[f"torus-{shape}" for shape in shapes])

@@ -226,6 +226,11 @@ def sweep_collective(
     unless the CLI installed one via ``--jobs``/``--cache-dir``).  Results
     come back in size order regardless of job count, bit-identical to the
     serial loop this used to be.
+
+    Under a :class:`repro.parallel.SupervisedExecutor` a quarantined
+    point comes back as an explicit ``None`` gap instead of aborting the
+    sweep; :func:`sweep_collective_outcomes` exposes the full typed
+    outcome per point.
     """
     from repro.parallel import RunPoint, default_executor
 
@@ -233,6 +238,26 @@ def sweep_collective(
     points = [RunPoint(builder=platform_builder, op=op, size_bytes=float(size))
               for size in sizes]
     return ex.run_points(points)
+
+
+def sweep_collective_outcomes(
+    platform_builder: Callable[[], PlatformSpec],
+    op: CollectiveOp,
+    sizes: Sequence[float] = SWEEP_SIZES,
+    executor: Optional[object] = None,
+) -> list:
+    """:func:`sweep_collective`, returning typed per-point outcomes.
+
+    Each element is a :class:`repro.parallel.PointOutcome`
+    (ok / retried / timeout / crashed / quarantined) in size order; on a
+    plain executor every outcome is OK (failures raise, as always).
+    """
+    from repro.parallel import RunPoint, default_executor
+
+    ex = executor if executor is not None else default_executor()
+    points = [RunPoint(builder=platform_builder, op=op, size_bytes=float(size))
+              for size in sizes]
+    return ex.run_outcomes(points)
 
 
 def run_training(

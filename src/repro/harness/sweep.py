@@ -21,6 +21,14 @@ class SweepResult:
     parameter: str
     metric: str
     rows: list[dict] = field(default_factory=list)
+    #: Points a supervised executor quarantined instead of measuring:
+    #: ``{parameter: value, "status": ..., "failure_class": ...}`` per
+    #: gap, so a partial sweep renders its holes explicitly.
+    gaps: list[dict] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        return not self.gaps
 
     def table(self, baseline: str | None = None) -> ComparisonTable:
         table = ComparisonTable(metric=self.metric)
@@ -50,7 +58,10 @@ def sweep(
     When an ``executor`` (:class:`repro.parallel.ParallelExecutor`) is
     given, points fan out through its ordered :meth:`map` — a ``run``
     that is not picklable (e.g. a closure) transparently falls back to
-    the serial loop, with identical results either way.
+    the serial loop, with identical results either way.  A
+    :class:`repro.parallel.SupervisedExecutor` routes through its
+    supervised map instead: a crashed/hung/poison point becomes an entry
+    in ``SweepResult.gaps`` and the rest of the sweep completes.
 
     >>> result = sweep("chunks", [1, 2], lambda c: 100.0 / c)
     >>> result.argmin()
@@ -59,6 +70,16 @@ def sweep(
     if not values:
         raise ReproError("sweep needs at least one value")
     result = SweepResult(parameter=parameter, metric=metric)
+    if executor is not None and hasattr(executor, "map_outcomes"):
+        for value, outcome in zip(values, executor.map_outcomes(run, list(values))):
+            if outcome.ok and outcome.result is not None:
+                result.rows.append({parameter: value,
+                                    metric: float(outcome.result)})
+            else:
+                result.gaps.append({parameter: value,
+                                    "status": outcome.status.value,
+                                    "failure_class": outcome.failure_class})
+        return result
     if executor is not None:
         measured_values = executor.map(run, list(values))
     else:

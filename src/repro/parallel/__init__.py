@@ -1,6 +1,6 @@
-"""Parallel design-space execution: process pools + content-addressed cache.
+"""Parallel design-space execution: process pools + cache + supervision.
 
-Two pieces (docs/PERFORMANCE.md):
+Three pieces (docs/PERFORMANCE.md, docs/SUPERVISION.md):
 
 * :class:`ParallelExecutor` — runs independent design-space points
   across a process pool (``jobs > 1``) or deterministically in-process
@@ -9,6 +9,11 @@ Two pieces (docs/PERFORMANCE.md):
 * :class:`RunCache` — a content-addressed store keyed on the canonical
   simulation config + topology + op + size + backend + code salt, so
   repeated points across figures and re-runs are free.
+* :class:`SupervisedExecutor` — crash-isolated, deadline-bounded
+  batches: worker deaths retry under a seeded backoff budget, hangs are
+  reaped, poison points are quarantined with diagnostic bundles, and
+  typed :class:`PointOutcome` partial results journal to an append-only
+  JSONL so interrupted campaigns resume.
 
 The CLI's global ``--jobs`` / ``--cache-dir`` / ``--no-cache`` flags
 configure a process-wide default executor that the harness entry points
@@ -31,17 +36,37 @@ from repro.parallel.executor import (
     default_executor,
     set_default_executor,
 )
+from repro.parallel.supervisor import (
+    OutcomeJournal,
+    PointOutcome,
+    PointStatus,
+    PoisonPointError,
+    QuarantineRecord,
+    SupervisedExecutor,
+    SupervisionPolicy,
+    exit_code_for,
+    results_with_gaps,
+)
 
 __all__ = [
     "CACHE_SALT",
     "CacheStats",
+    "OutcomeJournal",
     "ParallelExecutor",
+    "PointOutcome",
+    "PointStatus",
+    "PoisonPointError",
+    "QuarantineRecord",
     "RunCache",
     "RunPoint",
+    "SupervisedExecutor",
+    "SupervisionPolicy",
     "collective_cache_key",
     "configure_default",
     "default_executor",
+    "exit_code_for",
     "payload_to_result",
     "result_to_payload",
+    "results_with_gaps",
     "set_default_executor",
 ]

@@ -24,7 +24,8 @@ findings — the caller wants re-produced).
 
 Entries are one JSON file per key with atomic writes, so a cache
 directory can be shared by concurrent processes; a corrupt or truncated
-entry is treated as a miss and rewritten.
+entry is quarantined to the ``corrupt/`` subdirectory, counted in the
+cache summary, and treated as a miss so the next store rewrites it.
 """
 
 from __future__ import annotations
@@ -114,9 +115,13 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    #: Corrupt/truncated entries moved aside to ``corrupt/`` (each also
+    #: counts as a miss — the caller re-simulates and rewrites).
+    corrupt: int = 0
 
     def as_dict(self) -> dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores, "corrupt": self.corrupt}
 
 
 class RunCache:
@@ -140,22 +145,42 @@ class RunCache:
     def get(self, key: str) -> Optional[dict[str, Any]]:
         """The cached payload for ``key``, or ``None`` on a miss.
 
-        A corrupt, truncated, or schema-mismatched entry counts as a miss
-        (it will be overwritten by the next :meth:`put`).
+        A schema-mismatched entry (older code version) is a plain miss.
+        A corrupt, truncated, or wrong-key entry is *quarantined*: moved
+        to the ``corrupt/`` subdirectory (preserving the evidence for
+        inspection), counted, and reported in :meth:`summary` — then
+        treated as a miss so the next :meth:`put` rewrites it.
         """
         try:
             with open(self._path(key)) as f:
                 payload = json.load(f)
-        except (OSError, json.JSONDecodeError):
+        except FileNotFoundError:
             self.stats.misses += 1
             return None
-        if (not isinstance(payload, dict)
-                or payload.get("schema") != PAYLOAD_SCHEMA
-                or payload.get("key") != key):
+        except (OSError, json.JSONDecodeError):
+            self._quarantine_corrupt(key)
+            self.stats.misses += 1
+            return None
+        if not isinstance(payload, dict) or payload.get("key") != key:
+            self._quarantine_corrupt(key)
+            self.stats.misses += 1
+            return None
+        if payload.get("schema") != PAYLOAD_SCHEMA:
             self.stats.misses += 1
             return None
         self.stats.hits += 1
         return payload
+
+    def _quarantine_corrupt(self, key: str) -> None:
+        """Move a damaged entry aside to ``corrupt/`` and count it."""
+        path = self._path(key)
+        corrupt_dir = os.path.join(self.directory, "corrupt")
+        try:
+            os.makedirs(corrupt_dir, exist_ok=True)
+            os.replace(path, os.path.join(corrupt_dir, os.path.basename(path)))
+        except OSError:
+            return  # racing reader already moved it; nothing to count twice
+        self.stats.corrupt += 1
 
     def put(self, key: str, payload: dict[str, Any]) -> None:
         """Store ``payload`` under ``key`` (atomic; last writer wins)."""
@@ -182,4 +207,6 @@ class RunCache:
         lookups = s.hits + s.misses
         if lookups:
             line += f" ({100.0 * s.hits / lookups:.0f}% hit rate)"
+        if s.corrupt:
+            line += f", {s.corrupt} corrupt quarantined"
         return line

@@ -24,6 +24,7 @@ stored on the way out.
 
 from __future__ import annotations
 
+import logging
 import pickle
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, replace
@@ -74,12 +75,27 @@ def _execute_point(point: RunPoint, keep_system: bool = False) -> Any:
     return result if keep_system else replace(result, system=None)
 
 
-def _is_picklable(obj: Any) -> bool:
+_log = logging.getLogger("repro.parallel")
+
+#: The exception types CPython raises for genuinely unpicklable objects
+#: (closures, lambdas, local classes, live handles).  Anything *else*
+#: raised during pickling is a bug in the object's own
+#: ``__reduce__``/``__getstate__`` and must propagate, not be silently
+#: mistaken for "impure point — run it serially".
+_PICKLE_ERRORS = (pickle.PicklingError, TypeError, AttributeError)
+
+
+def _pickle_failure(obj: Any) -> Optional[BaseException]:
+    """The serialization error that makes ``obj`` unpicklable, or None."""
     try:
         pickle.dumps(obj)
-        return True
-    except Exception:
-        return False
+    except _PICKLE_ERRORS as exc:
+        return exc
+    return None
+
+
+def _is_picklable(obj: Any) -> bool:
+    return _pickle_failure(obj) is None
 
 
 class ParallelExecutor:
@@ -97,6 +113,7 @@ class ParallelExecutor:
         self.cache = cache
         #: Simulations actually executed (cache hits excluded).
         self.simulations_run = 0
+        self._degrade_logged = False
         # The worker pool is created lazily on the first parallel batch
         # and *reused* across run_points()/map() calls: a figure harness
         # issues several sweeps back-to-back, and re-forking workers per
@@ -151,6 +168,36 @@ class ParallelExecutor:
                     self.cache.put(key, result_to_payload(results[i], key))  # type: ignore[union-attr]
         return results
 
+    def run_outcomes(self, points: Sequence[RunPoint]) -> list[Any]:
+        """Typed outcomes for a batch (``repro.parallel.supervisor``).
+
+        The plain executor has no supervision: any failure raises
+        exactly as :meth:`run_points` always has, so every outcome that
+        comes back is OK by construction.
+        :class:`~repro.parallel.supervisor.SupervisedExecutor` overrides
+        this with deadlines, retries, and quarantine.
+        """
+        from repro.parallel.supervisor import outcomes_from_results
+
+        points = list(points)
+        return outcomes_from_results(points, self.run_points(points))
+
+    def _local_reason(self, obj: Any) -> Optional[BaseException]:
+        """Why ``obj`` must run in-process (None = picklable, pool ok).
+
+        A genuine serialization failure degrades to serial execution and
+        is logged once per executor; any other pickling-time error
+        propagates from :func:`_pickle_failure`.
+        """
+        failure = _pickle_failure(obj)
+        if failure is not None and not self._degrade_logged:
+            self._degrade_logged = True
+            _log.warning(
+                "work item is not picklable (%s: %s); running it "
+                "in-process instead of in the worker pool",
+                type(failure).__name__, failure)
+        return failure
+
     def _key_for(self, point: RunPoint) -> Optional[str]:
         """Cache key for ``point``, or None (cache off / point impure).
 
@@ -170,8 +217,13 @@ class ParallelExecutor:
                 self.simulations_run += 1
             return
 
-        remote = [(i, p) for i, p in pending if _is_picklable(p)]
-        local = [(i, p) for i, p in pending if not _is_picklable(p)]
+        remote: list[tuple[int, RunPoint]] = []
+        local: list[tuple[int, RunPoint]] = []
+        for i, point in pending:
+            if self._local_reason(point) is None:
+                remote.append((i, point))
+            else:
+                local.append((i, point))
         if remote:
             pool = self._get_pool()
             futures = {pool.submit(_execute_point, point): i
@@ -197,7 +249,8 @@ class ParallelExecutor:
         items = list(items)
         if self.jobs == 1 or len(items) <= 1:
             return [fn(item) for item in items]
-        if not _is_picklable(fn) or not all(_is_picklable(it) for it in items):
+        if (self._local_reason(fn) is not None
+                or any(self._local_reason(it) is not None for it in items)):
             return [fn(item) for item in items]
         results: list[Any] = [None] * len(items)
         pool = self._get_pool()
@@ -237,9 +290,30 @@ def default_executor() -> ParallelExecutor:
 
 
 def configure_default(jobs: int = 1, cache_dir: Optional[str] = None,
-                      use_cache: bool = True) -> ParallelExecutor:
-    """Build + install the default executor from CLI-level knobs."""
+                      use_cache: bool = True, *,
+                      supervision: Optional[Any] = None,
+                      journal_path: Optional[str] = None,
+                      quarantine_dir: Optional[str] = None) -> ParallelExecutor:
+    """Build + install the default executor from CLI-level knobs.
+
+    Passing a :class:`~repro.parallel.supervisor.SupervisionPolicy` (or a
+    journal/quarantine path) upgrades the default to a
+    :class:`~repro.parallel.supervisor.SupervisedExecutor`, so every
+    harness entry point inherits crash isolation and deadlines without
+    changing its call sites.
+    """
     cache = RunCache(cache_dir) if (cache_dir and use_cache) else None
-    executor = ParallelExecutor(jobs=jobs, cache=cache)
+    if supervision is not None or journal_path or quarantine_dir:
+        from repro.parallel.supervisor import (
+            SupervisedExecutor,
+            SupervisionPolicy,
+        )
+
+        executor: ParallelExecutor = SupervisedExecutor(
+            jobs=jobs, cache=cache,
+            policy=supervision if supervision is not None else SupervisionPolicy(),
+            journal_path=journal_path, quarantine_dir=quarantine_dir)
+    else:
+        executor = ParallelExecutor(jobs=jobs, cache=cache)
     set_default_executor(executor)
     return executor

@@ -1,0 +1,25 @@
+"""Shared writer for diagnostic bundles.
+
+One on-disk format for every diagnostic artifact the toolchain emits —
+watchdog stall bundles (PR 4) and supervisor poison-point bundles share
+it, so downstream tooling (CI artifact collection, the chaos report
+readers) parses one shape: a single JSON object per file, ``indent=2``,
+``sort_keys=True``, trailing newline, named ``<stem>.json`` inside the
+bundle directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+
+def write_bundle(directory: str, stem: str, payload: dict[str, Any]) -> str:
+    """Write ``payload`` as ``<directory>/<stem>.json``; returns the path."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, stem + ".json")
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return path

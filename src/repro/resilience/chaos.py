@@ -63,6 +63,10 @@ class Outcome(enum.Enum):
     #: Anything else — a silent hang, livelock guard, or unclassified
     #: exception.  Must never happen.
     FAILURE = "failure"
+    #: The *host* failed the iteration — a worker process died or blew
+    #: its supervised wall-clock deadline (docs/SUPERVISION.md), so the
+    #: simulator never got to classify the run.  Must never happen.
+    HOST_FAILURE = "host_failure"
 
 
 #: Outcomes the harness accepts.
@@ -319,14 +323,32 @@ def run_chaos(config: ChaosConfig,
     -wide one).  Chaos runs are never cached — their side effects are the
     point — and the report is identical at any job count because every
     iteration seeds its own RNG from ``(seed, i)``.
+
+    Under a :class:`repro.parallel.SupervisedExecutor` an iteration
+    whose *worker* dies or hangs (as opposed to the simulated platform
+    failing) is classified :attr:`Outcome.HOST_FAILURE` — never
+    acceptable — instead of silently aborting the campaign.
     """
     import functools
 
     from repro.parallel import default_executor
 
     ex = executor if executor is not None else default_executor()
-    runs = ex.map(functools.partial(run_iteration, config),
-                  range(config.iterations))
+    iterate = functools.partial(run_iteration, config)
+    if hasattr(ex, "map_outcomes"):
+        runs = []
+        for i, outcome in enumerate(ex.map_outcomes(iterate,
+                                                    range(config.iterations))):
+            if outcome.ok:
+                runs.append(outcome.result)
+            else:
+                runs.append(ChaosRun(
+                    iteration=i,
+                    backend=config.backends[i % len(config.backends)],
+                    op="?", outcome=Outcome.HOST_FAILURE,
+                    detail=f"{outcome.failure_class}: {outcome.error}"))
+    else:
+        runs = ex.map(iterate, range(config.iterations))
     report = ChaosReport(seed=config.seed, runs=list(runs))
     if log is not None:
         for run in report.runs:

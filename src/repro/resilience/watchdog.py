@@ -27,7 +27,6 @@ deliveries the resumed communication produced.
 
 from __future__ import annotations
 
-import json
 import os
 from dataclasses import dataclass, field
 from typing import Any, Optional
@@ -152,12 +151,10 @@ class Watchdog:
         raise StallError("simulation stalled: " + diag.summary())
 
     def _write_bundle(self, diag: StallDiagnostics) -> str:
-        os.makedirs(self.config.bundle_dir, exist_ok=True)
+        from repro.resilience.bundles import write_bundle
+
         stem = f"stall-{diag.events_processed:012d}"
-        path = os.path.join(self.config.bundle_dir, stem + ".json")
-        with open(path, "w") as f:
-            json.dump(diag.to_dict(), f, indent=2, sort_keys=True)
-            f.write("\n")
+        path = write_bundle(self.config.bundle_dir, stem, diag.to_dict())
         if self.config.action == "checkpoint":
             from repro.resilience.checkpoint import Checkpoint
 

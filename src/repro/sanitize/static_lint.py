@@ -42,7 +42,13 @@ from repro.sanitize.findings import Finding, LintReport, Severity
 
 #: Top-level keys a run-spec JSON document may carry.
 RUN_SPEC_KEYS = {"config", "topology", "expected_npus", "faults",
-                 "fault_schedule"}
+                 "fault_schedule", "supervision"}
+
+#: Keys of the ``supervision`` section of a run spec
+#: (:class:`repro.parallel.SupervisionPolicy` fields; docs/SUPERVISION.md).
+SUPERVISION_KEYS = {"point_timeout_s", "point_event_budget", "max_retries",
+                    "backoff_base_s", "backoff_factor", "backoff_max_s",
+                    "seed", "on_poison", "poll_interval_s"}
 
 #: Keys of the ``topology`` section of a run spec.
 TOPOLOGY_KEYS = {"kind", "shape"}
@@ -93,6 +99,15 @@ _TRANSPORT_RULES = {
     "backoff_factor": ("must be >= 1", lambda v: v >= 1),
     "backoff_max_cycles": _NON_NEGATIVE,
     "jitter": ("must be in [0, 1]", lambda v: 0 <= v <= 1),
+}
+_SUPERVISION_RULES = {
+    "point_timeout_s": _POSITIVE,
+    "point_event_budget": ("must be >= 1", lambda v: v >= 1),
+    "max_retries": _NON_NEGATIVE,
+    "backoff_base_s": _NON_NEGATIVE,
+    "backoff_factor": ("must be >= 1", lambda v: v >= 1),
+    "backoff_max_s": _NON_NEGATIVE,
+    "poll_interval_s": _POSITIVE,
 }
 
 
@@ -544,6 +559,38 @@ def lint_fault_schedule(data: Any, source: str = "") -> list[Finding]:
     return report.findings
 
 
+def lint_supervision(data: Any, source: str = "") -> list[Finding]:
+    """Lint a run spec's ``supervision`` section (docs/SUPERVISION.md).
+
+    Per-field range rules and the ``on_poison`` enum fire first with
+    parameter-anchored findings; a clean section is then constructed via
+    :class:`repro.parallel.SupervisionPolicy` so every cross-field
+    ConfigError the runtime would raise surfaces here instead.
+    """
+    report = LintReport(source=source)
+    if not isinstance(data, dict):
+        report.add(Severity.ERROR, "malformed-spec", "supervision",
+                   f"supervision section must be an object, got "
+                   f"{type(data).__name__}")
+        return report.findings
+    _check_unknown_keys(report, data, SUPERVISION_KEYS, "supervision")
+    _check_rules(report, data, _SUPERVISION_RULES, "supervision")
+    on_poison = data.get("on_poison")
+    if on_poison is not None and on_poison not in ("quarantine", "fail"):
+        report.add(Severity.ERROR, "out-of-range", "supervision.on_poison",
+                   f"must be 'quarantine' or 'fail', got {on_poison!r}")
+    if report.ok(strict=False):
+        from repro.parallel.supervisor import SupervisionPolicy
+
+        try:
+            SupervisionPolicy(
+                **{k: v for k, v in data.items() if k in SUPERVISION_KEYS})
+        except (ConfigError, TypeError) as exc:
+            report.add(Severity.ERROR, "supervision-invalid", "supervision",
+                       str(exc))
+    return report.findings
+
+
 # -- search-space specs ---------------------------------------------------------
 
 #: Axes whose values are plain integers >= 1 (rings, switches, chunks).
@@ -732,6 +779,10 @@ def lint_run_spec(data: Any, source: str = "") -> LintReport:
     schedule = spec.get("fault_schedule")
     if schedule is not None:
         report.extend(lint_fault_schedule(schedule, source=source))
+
+    supervision = spec.get("supervision")
+    if supervision is not None:
+        report.extend(lint_supervision(supervision, source=source))
     return report
 
 

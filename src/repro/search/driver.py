@@ -75,13 +75,17 @@ def _trajectory_header(space: SearchSpace, objective: Objective,
     }
 
 
-def load_trajectory(path: str, space: SearchSpace,
-                    objective: Objective) -> dict[Genome, Evaluation]:
+def load_trajectory(path: str, space: SearchSpace, objective: Objective,
+                    poisoned: Optional[set] = None) -> dict[Genome, Evaluation]:
     """Replay a trajectory log into a genome → evaluation memo.
 
     Scores and floors are recomputed from the stored cycles under the
     *current* objective, so a resumed search may re-rank prior points —
     the simulations stay reused either way.
+
+    ``type="quarantined"`` records (written when a supervised run poisons
+    a point — docs/SUPERVISION.md) are collected into ``poisoned`` when a
+    set is passed, so a resumed search skips them without re-simulating.
     """
     memo: dict[Genome, Evaluation] = {}
     try:
@@ -107,6 +111,11 @@ def load_trajectory(path: str, space: SearchSpace,
                     f"({record.get('num_npus')} NPUs, "
                     f"{record.get('collective')}, "
                     f"{record.get('size_bytes')} bytes)")
+            continue
+        if record.get("type") == "quarantined":
+            if poisoned is not None:
+                poisoned.add(
+                    space.canonical(tuple(int(g) for g in record["genome"])))
             continue
         genome = space.canonical(tuple(int(g) for g in record["genome"]))
         point = space.decode(genome)
@@ -147,11 +156,15 @@ def run_search(
     ex = executor if executor is not None else default_executor()
 
     memo: dict[Genome, Evaluation] = {}
+    #: Genomes a supervised run quarantined (this run or a resumed one):
+    #: never re-proposed, never re-simulated, never scored.
+    poisoned: set[Genome] = set()
     if resume:
         if not trajectory_path:
             raise ConfigError("--resume needs a trajectory path")
         if os.path.exists(trajectory_path):
-            memo = load_trajectory(trajectory_path, space, objective)
+            memo = load_trajectory(trajectory_path, space, objective,
+                                   poisoned=poisoned)
 
     log = None
     if trajectory_path:
@@ -177,7 +190,7 @@ def run_search(
             fresh_genomes: list[Genome] = []
             batch_seen: set[Genome] = set()
             for genome in canon:
-                if genome in memo or genome in batch_seen:
+                if genome in memo or genome in batch_seen or genome in poisoned:
                     continue
                 if evaluated + len(fresh_genomes) >= budget:
                     break
@@ -195,8 +208,24 @@ def run_search(
                     )
                     for point in points
                 ]
-                results = ex.run_points(run_points)
-                for genome, point, result in zip(fresh_genomes, points, results):
+                outcomes = ex.run_outcomes(run_points)
+                for genome, point, outcome in zip(fresh_genomes, points,
+                                                  outcomes):
+                    if not outcome.ok:
+                        # Poison point: record the gap in the frontier
+                        # and the trajectory, keep searching.
+                        poisoned.add(genome)
+                        if log is not None:
+                            json.dump({
+                                "type": "quarantined",
+                                "genome": list(genome),
+                                "label": point.label,
+                                "failure_class": outcome.failure_class,
+                                "error": outcome.error,
+                            }, log)
+                            log.write("\n")
+                        continue
+                    result = outcome.result
                     evaluation = Evaluation(
                         genome=genome,
                         label=point.label,

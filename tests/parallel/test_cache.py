@@ -105,10 +105,13 @@ class TestRunCache:
         assert cache.get(key) is None
         cache.put(key, {"schema": PAYLOAD_SCHEMA, "key": key, "x": 1})
         assert cache.get(key)["x"] == 1
-        assert cache.stats.as_dict() == {"hits": 1, "misses": 1, "stores": 1}
+        assert cache.stats.as_dict() == {"hits": 1, "misses": 1,
+                                         "stores": 1, "corrupt": 0}
         assert len(cache) == 1
 
-    def test_corrupt_entry_is_a_miss(self, tmp_path):
+    def test_corrupt_entry_is_quarantined(self, tmp_path):
+        """A truncated entry is a miss AND moves to corrupt/ (counted,
+        surfaced in the summary line) so the evidence survives."""
         cache = RunCache(str(tmp_path))
         key = "b" * 64
         os.makedirs(str(tmp_path), exist_ok=True)
@@ -116,14 +119,30 @@ class TestRunCache:
             f.write("{truncated")
         assert cache.get(key) is None
         assert cache.stats.misses == 1
+        assert cache.stats.corrupt == 1
+        quarantined = os.path.join(str(tmp_path), "corrupt", f"{key}.json")
+        assert os.path.exists(quarantined)
+        assert not os.path.exists(os.path.join(str(tmp_path), f"{key}.json"))
+        assert "1 corrupt quarantined" in cache.summary()
+        # The slot is rewritable and serves normally afterwards.
+        cache.put(key, {"schema": PAYLOAD_SCHEMA, "key": key, "x": 2})
+        assert cache.get(key)["x"] == 2
 
-    def test_schema_or_key_mismatch_is_a_miss(self, tmp_path):
+    def test_schema_mismatch_is_a_plain_miss(self, tmp_path):
+        """An old-schema entry is stale, not damaged: no quarantine."""
         cache = RunCache(str(tmp_path))
         key = "c" * 64
         cache.put(key, {"schema": PAYLOAD_SCHEMA + 1, "key": key})
         assert cache.get(key) is None
+        assert cache.stats.corrupt == 0
+        assert os.path.exists(os.path.join(str(tmp_path), f"{key}.json"))
+
+    def test_wrong_key_entry_is_quarantined(self, tmp_path):
+        cache = RunCache(str(tmp_path))
+        key = "c" * 64
         cache.put(key, {"schema": PAYLOAD_SCHEMA, "key": "d" * 64})
         assert cache.get(key) is None
+        assert cache.stats.corrupt == 1
 
     def test_needs_directory(self):
         from repro.errors import ReproError

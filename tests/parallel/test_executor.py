@@ -118,6 +118,32 @@ class TestRunPoints:
         assert ex.cache.stats.stores == 0
 
 
+class TestPickleClassification:
+    """Genuine unpicklability degrades (logged once); broken
+    ``__getstate__`` propagates instead of silently running serial."""
+
+    def test_lambda_degrades_with_one_logged_warning(self, caplog):
+        with caplog.at_level("WARNING", logger="repro.parallel"):
+            with ParallelExecutor(jobs=2) as ex:
+                assert ex.map(lambda x: x + 1, [1, 2, 3]) == [2, 3, 4]
+                assert ex.map(lambda x: x * 2, [1, 2, 3]) == [2, 4, 6]
+        degradations = [r for r in caplog.records
+                        if "not picklable" in r.message]
+        assert len(degradations) == 1  # once per executor, not per batch
+
+    def test_broken_getstate_propagates(self):
+        class Exploding:
+            def __getstate__(self):
+                raise RuntimeError("corrupted handle")
+
+            def __call__(self, x):
+                return x
+
+        with ParallelExecutor(jobs=2) as ex:
+            with pytest.raises(RuntimeError, match="corrupted handle"):
+                ex.map(Exploding(), [1, 2])
+
+
 class TestDefaultExecutor:
     def test_unset_default_is_serial_uncached(self):
         ex = default_executor()

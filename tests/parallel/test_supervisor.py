@@ -1,0 +1,390 @@
+"""SupervisedExecutor: crash isolation, deadlines, quarantine, resume.
+
+The injectors live in ``_supervision_helpers`` (module-level, so they
+pickle into pool workers) and kill/hang only the worker process they run
+in — never the test process.
+"""
+
+import dataclasses
+import functools
+import json
+
+import pytest
+
+from repro.collectives.types import CollectiveOp
+from repro.errors import ConfigError
+from repro.parallel import (
+    OutcomeJournal,
+    ParallelExecutor,
+    PointStatus,
+    PoisonPointError,
+    RunCache,
+    RunPoint,
+    SupervisedExecutor,
+    SupervisionPolicy,
+    configure_default,
+    exit_code_for,
+    set_default_executor,
+)
+
+from _supervision_helpers import (
+    always_crash_builder,
+    always_raise_builder,
+    crash_once_builder,
+    crash_once_then,
+    hang_builder,
+    hang_forever,
+    small_torus,
+)
+
+KB64 = 64 * 1024.0
+
+#: Generous wall-clock deadline for tests whose hung point sleeps 60s:
+#: long enough that a loaded CI box never reaps a genuine simulation.
+DEADLINE_S = 20.0
+
+
+@pytest.fixture(autouse=True)
+def _clean_default():
+    yield
+    set_default_executor(None)
+
+
+def _points(sizes, builder=small_torus):
+    return [RunPoint(builder=builder, op=CollectiveOp.ALL_REDUCE,
+                     size_bytes=float(s)) for s in sizes]
+
+
+class TestPolicy:
+    def test_defaults_are_valid(self):
+        policy = SupervisionPolicy()
+        assert policy.max_retries == 2
+        assert policy.on_poison == "quarantine"
+
+    @pytest.mark.parametrize("kwargs", [
+        {"point_timeout_s": 0.0},
+        {"point_timeout_s": -1.0},
+        {"point_event_budget": 0},
+        {"max_retries": -1},
+        {"backoff_factor": 0.5},
+        {"on_poison": "explode"},
+        {"poll_interval_s": 0.0},
+    ])
+    def test_bad_knobs_raise_config_error(self, kwargs):
+        with pytest.raises(ConfigError):
+            SupervisionPolicy(**kwargs)
+
+    def test_backoff_is_deterministic_and_bounded(self):
+        policy = SupervisionPolicy(backoff_max_s=0.25)
+        first = policy.backoff_s("key", 1)
+        assert first == policy.backoff_s("key", 1)
+        assert policy.backoff_s("key", 2) != first  # new attempt, new draw
+        assert all(0 <= policy.backoff_s("k", a) <= 0.25
+                   for a in (1, 2, 3, 8))
+
+
+class TestNoFaultPath:
+    def test_bit_identical_to_plain_executor(self):
+        points = _points([KB64, 2 * KB64, 4 * KB64])
+        plain = ParallelExecutor(jobs=1).run_points(points)
+        with SupervisedExecutor(jobs=2) as ex:
+            outcomes = ex.run_outcomes(points)
+        assert [o.status for o in outcomes] == [PointStatus.OK] * 3
+        assert ex.quarantine == []
+        for a, o in zip(plain, outcomes):
+            assert a.duration_cycles == o.result.duration_cycles
+            assert a.breakdown.as_dict() == o.result.breakdown.as_dict()
+        assert exit_code_for(outcomes) == 0
+
+    def test_run_points_returns_plain_results(self):
+        points = _points([KB64])
+        with SupervisedExecutor(jobs=1) as ex:
+            results = ex.run_points(points)
+        assert results[0].duration_cycles > 0
+
+    def test_warm_cache_serves_without_slots(self, tmp_path):
+        points = _points([KB64])
+        with SupervisedExecutor(jobs=1, cache=RunCache(str(tmp_path))) as ex:
+            first = ex.run_outcomes(points)
+            assert ex.simulations_run == 1
+            second = ex.run_outcomes(points)
+        assert second[0].from_cache and second[0].status is PointStatus.OK
+        assert ex.simulations_run == 1
+        assert (first[0].result.duration_cycles
+                == second[0].result.duration_cycles)
+
+
+class TestCrashIsolation:
+    def test_sigkilled_worker_mid_batch_retries_bit_identical(self, tmp_path):
+        """Satellite: a SIGKILLed pool worker mid-batch must not abort
+        the batch, and the retried point must match a clean run bit for
+        bit."""
+        clean = ParallelExecutor(jobs=1).run_points(_points([KB64, 2 * KB64]))
+
+        crasher = functools.partial(crash_once_builder,
+                                    str(tmp_path / "armed"))
+        points = [RunPoint(builder=crasher, op=CollectiveOp.ALL_REDUCE,
+                           size_bytes=KB64),
+                  RunPoint(builder=small_torus, op=CollectiveOp.ALL_REDUCE,
+                           size_bytes=2 * KB64)]
+        with SupervisedExecutor(jobs=2) as ex:
+            outcomes = ex.run_outcomes(points)
+
+        assert outcomes[0].status is PointStatus.RETRIED
+        assert outcomes[0].attempts == 2
+        assert outcomes[1].status is PointStatus.OK
+        assert ex.quarantine == []
+        for reference, outcome in zip(clean, outcomes):
+            assert (reference.duration_cycles
+                    == outcome.result.duration_cycles)
+            assert (reference.breakdown.as_dict()
+                    == outcome.result.breakdown.as_dict())
+        assert exit_code_for(outcomes) == 0
+
+    def test_broken_pool_retry_exhaustion_quarantines_not_aborts(self):
+        """Satellite: a point that kills its worker every attempt lands
+        in quarantine; the rest of the batch still completes."""
+        points = [RunPoint(builder=always_crash_builder,
+                           op=CollectiveOp.ALL_REDUCE, size_bytes=KB64),
+                  RunPoint(builder=small_torus, op=CollectiveOp.ALL_REDUCE,
+                           size_bytes=KB64)]
+        policy = SupervisionPolicy(max_retries=1, backoff_max_s=0.05)
+        with SupervisedExecutor(jobs=2, policy=policy) as ex:
+            outcomes = ex.run_outcomes(points)
+
+        assert outcomes[0].status is PointStatus.CRASHED
+        assert outcomes[0].attempts == 2  # initial + 1 retry
+        assert outcomes[0].failure_class == "crash"
+        assert outcomes[1].status is PointStatus.OK
+        assert len(ex.quarantine) == 1
+        assert ex.quarantine[0].failure_class == "crash"
+        assert exit_code_for(outcomes) == 1
+
+    def test_in_simulation_error_classifies_as_error(self):
+        points = [RunPoint(builder=always_raise_builder,
+                           op=CollectiveOp.ALL_REDUCE, size_bytes=KB64)]
+        policy = SupervisionPolicy(max_retries=0)
+        with SupervisedExecutor(jobs=1, policy=policy) as ex:
+            outcomes = ex.run_outcomes(points)
+        assert outcomes[0].status is PointStatus.FAILED
+        assert outcomes[0].failure_class == "error"
+        assert "injected builder failure" in outcomes[0].error
+
+
+class TestDeadlines:
+    def test_hung_point_is_reaped_and_quarantined(self):
+        points = [RunPoint(builder=hang_builder, op=CollectiveOp.ALL_REDUCE,
+                           size_bytes=KB64),
+                  RunPoint(builder=small_torus, op=CollectiveOp.ALL_REDUCE,
+                           size_bytes=KB64)]
+        policy = SupervisionPolicy(point_timeout_s=2.0, max_retries=0)
+        with SupervisedExecutor(jobs=2, policy=policy) as ex:
+            outcomes = ex.run_outcomes(points)
+        assert outcomes[0].status is PointStatus.TIMEOUT
+        assert outcomes[0].failure_class == "timeout"
+        assert outcomes[1].status is PointStatus.OK
+        assert exit_code_for(outcomes) == 1
+
+    def test_event_budget_quarantines_runaway_point(self):
+        policy = SupervisionPolicy(point_event_budget=50, max_retries=0)
+        with SupervisedExecutor(jobs=1, policy=policy) as ex:
+            outcomes = ex.run_outcomes(_points([KB64]))
+        assert outcomes[0].status is PointStatus.FAILED
+        assert outcomes[0].failure_class == "event-budget"
+
+    def test_on_poison_fail_raises(self):
+        points = [RunPoint(builder=always_crash_builder,
+                           op=CollectiveOp.ALL_REDUCE, size_bytes=KB64)]
+        policy = SupervisionPolicy(max_retries=0, on_poison="fail")
+        with SupervisedExecutor(jobs=1, policy=policy) as ex:
+            with pytest.raises(PoisonPointError):
+                ex.run_outcomes(points)
+
+
+class TestQuarantineReport:
+    def test_bundle_written_in_watchdog_format(self, tmp_path):
+        points = [RunPoint(builder=always_crash_builder,
+                           op=CollectiveOp.ALL_REDUCE, size_bytes=KB64)]
+        policy = SupervisionPolicy(max_retries=0)
+        with SupervisedExecutor(jobs=1, policy=policy,
+                                quarantine_dir=str(tmp_path)) as ex:
+            outcomes = ex.run_outcomes(points)
+        bundle_path = outcomes[0].bundle_path
+        assert bundle_path and bundle_path.endswith(".json")
+        with open(bundle_path) as f:
+            bundle = json.load(f)
+        assert bundle["kind"] == "poison-point"
+        assert bundle["failure_class"] == "crash"
+        assert bundle["attempts"] == 1
+        # Same serialized shape as the PR 4 watchdog bundles.
+        with open(bundle_path) as f:
+            raw = f.read()
+        assert raw == json.dumps(bundle, indent=2, sort_keys=True) + "\n"
+
+    def test_report_file_lists_every_poison_point(self, tmp_path):
+        points = [RunPoint(builder=always_crash_builder,
+                           op=CollectiveOp.ALL_REDUCE, size_bytes=KB64)]
+        policy = SupervisionPolicy(max_retries=0)
+        with SupervisedExecutor(jobs=1, policy=policy) as ex:
+            ex.run_outcomes(points)
+            path = ex.write_quarantine_report(str(tmp_path / "report.json"))
+        with open(path) as f:
+            report = json.load(f)
+        assert report["kind"] == "quarantine-report"
+        assert len(report["quarantined"]) == 1
+        assert report["quarantined"][0]["failure_class"] == "crash"
+        assert "poison point" in ex.quarantine_summary()
+
+
+class TestJournalResume:
+    def test_resume_skips_completed_and_quarantined(self, tmp_path):
+        """Acceptance: an interrupted campaign's journal lets a re-run
+        skip past completed AND quarantined points without simulating
+        either."""
+        journal = str(tmp_path / "journal.jsonl")
+        points = [RunPoint(builder=small_torus, op=CollectiveOp.ALL_REDUCE,
+                           size_bytes=KB64),
+                  RunPoint(builder=always_crash_builder,
+                           op=CollectiveOp.ALL_REDUCE, size_bytes=KB64)]
+        policy = SupervisionPolicy(max_retries=0)
+        with SupervisedExecutor(jobs=1, policy=policy,
+                                journal_path=journal) as ex:
+            first = ex.run_outcomes(points)
+        assert first[0].status is PointStatus.OK
+        assert first[1].status is PointStatus.CRASHED
+
+        with SupervisedExecutor(jobs=1, policy=policy,
+                                journal_path=journal) as resumed:
+            second = resumed.run_outcomes(points)
+        assert resumed.simulations_run == 0
+        assert resumed.attempts_total == 0
+        assert second[0].from_journal
+        assert second[0].status is PointStatus.OK
+        assert (second[0].result.duration_cycles
+                == first[0].result.duration_cycles)
+        assert second[1].from_journal
+        assert second[1].status is PointStatus.QUARANTINED
+        assert second[1].failure_class == "crash"
+        assert exit_code_for(second) == 1
+
+    def test_journal_tolerates_torn_tail_line(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        journal = OutcomeJournal(path)
+        journal.append({"type": "outcome", "key": "k1", "status": "ok"})
+        with open(path, "a") as f:
+            f.write('{"type": "outcome", "key": "k2", "stat')  # torn write
+        records = OutcomeJournal.load(path)
+        assert set(records) == {"k1"}
+
+    def test_journal_keeps_last_record_per_key(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        journal = OutcomeJournal(path)
+        journal.append({"key": "k", "status": "crashed"})
+        journal.append({"key": "k", "status": "ok"})
+        assert OutcomeJournal.load(path)["k"]["status"] == "ok"
+
+
+class TestMapOutcomes:
+    def test_supervised_map_quarantines_and_continues(self):
+        from _supervision_helpers import hang_if_two
+
+        policy = SupervisionPolicy(point_timeout_s=2.0, max_retries=0)
+        with SupervisedExecutor(jobs=2, policy=policy) as ex:
+            outcomes = ex.map_outcomes(hang_if_two, [0, 1, 2, 3])
+        assert [o.result for o in outcomes] == [0, 1, None, 9]
+        assert outcomes[2].status is PointStatus.TIMEOUT
+
+    def test_unpicklable_fn_runs_in_parent(self):
+        with SupervisedExecutor(jobs=2) as ex:
+            outcomes = ex.map_outcomes(lambda x: -x, [1, 2])
+        assert [o.result for o in outcomes] == [-1, -2]
+        assert all(o.status is PointStatus.OK for o in outcomes)
+
+
+class TestFig09Acceptance:
+    """Acceptance: injected worker crash and injected hang during a
+    fig09 batch both finish the batch."""
+
+    SIZES = [KB64, 2 * KB64]
+
+    def _clean_figure(self):
+        from repro.harness import fig09
+
+        results = ParallelExecutor(jobs=1).run_points(
+            fig09._points(self.SIZES, CollectiveOp.ALL_REDUCE))
+        return fig09._split(CollectiveOp.ALL_REDUCE, self.SIZES, results)
+
+    def test_crash_mid_fig09_batch_retries_bit_identical(self, tmp_path):
+        from repro.harness import fig09
+        from repro.parallel import results_with_gaps
+
+        clean = self._clean_figure()
+        points = fig09._points(self.SIZES, CollectiveOp.ALL_REDUCE)
+        points[0] = dataclasses.replace(
+            points[0],
+            builder=functools.partial(crash_once_then,
+                                      str(tmp_path / "armed"),
+                                      fig09._alltoall))
+        with SupervisedExecutor(jobs=2) as ex:
+            outcomes = ex.run_outcomes(points)
+
+        assert [o.status for o in outcomes] == [
+            PointStatus.RETRIED, PointStatus.OK, PointStatus.OK,
+            PointStatus.OK]
+        figure = fig09._split(CollectiveOp.ALL_REDUCE, self.SIZES,
+                              results_with_gaps(outcomes))
+        assert figure.complete
+        assert figure.rows() == clean.rows()
+        assert exit_code_for(outcomes) == 0
+
+    def test_hang_mid_fig09_batch_quarantines_and_resumes(self, tmp_path):
+        from repro.harness import fig09
+        from repro.parallel import results_with_gaps
+
+        journal = str(tmp_path / "journal.jsonl")
+        points = fig09._points(self.SIZES, CollectiveOp.ALL_REDUCE)
+        points[2] = dataclasses.replace(
+            points[2],
+            builder=functools.partial(hang_forever, fig09._torus))
+        policy = SupervisionPolicy(point_timeout_s=2.0, max_retries=0)
+        with SupervisedExecutor(jobs=2, policy=policy,
+                                journal_path=journal) as ex:
+            outcomes = ex.run_outcomes(points)
+
+        assert outcomes[2].status is PointStatus.TIMEOUT
+        assert [o.ok for o in outcomes] == [True, True, False, True]
+        assert len(ex.quarantine) == 1
+        assert exit_code_for(outcomes) == 1
+
+        figure = fig09._split(CollectiveOp.ALL_REDUCE, self.SIZES,
+                              results_with_gaps(outcomes))
+        assert not figure.complete
+        rows = figure.rows()
+        assert rows[0]["torus_cycles"] is None  # the quarantined point
+        assert rows[0]["alltoall_cycles"] is not None
+        assert rows[1]["torus_over_alltoall"] is not None
+
+        # Resume past completed AND quarantined points: zero simulations.
+        with SupervisedExecutor(jobs=2, policy=policy,
+                                journal_path=journal) as resumed:
+            second = resumed.run_outcomes(points)
+        assert resumed.simulations_run == 0
+        assert all(o.from_journal for o in second)
+        assert second[2].status is PointStatus.QUARANTINED
+        assert (second[0].result.duration_cycles
+                == outcomes[0].result.duration_cycles)
+
+
+class TestConfigureDefault:
+    def test_supervision_knobs_build_supervised_executor(self, tmp_path):
+        ex = configure_default(jobs=2,
+                               supervision=SupervisionPolicy(max_retries=1),
+                               journal_path=str(tmp_path / "j.jsonl"))
+        assert isinstance(ex, SupervisedExecutor)
+        assert ex.policy.max_retries == 1
+        ex.close()
+
+    def test_plain_knobs_build_plain_executor(self):
+        ex = configure_default(jobs=2)
+        assert type(ex) is ParallelExecutor
+        ex.close()

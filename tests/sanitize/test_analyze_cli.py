@@ -74,8 +74,10 @@ class TestCollectiveCheckSchedule:
 class TestExitCodeContract:
     def test_documented_in_both_helps(self):
         parser = build_arg_parser()
+        # The subparsers action is the one whose choices map command
+        # names to parsers (flag actions also carry non-dict choices).
         subparsers = next(a for a in parser._actions
-                          if hasattr(a, "choices") and a.choices)
+                          if isinstance(getattr(a, "choices", None), dict))
         for command in ("lint", "analyze"):
             text = subparsers.choices[command].format_help()
             assert "exit status:" in text

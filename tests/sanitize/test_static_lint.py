@@ -20,7 +20,11 @@ from repro.sanitize import (
     lint_topology,
 )
 from repro.sanitize.findings import Finding, LintReport, reports_to_json
-from repro.sanitize.static_lint import lint_config_dict, lint_faults
+from repro.sanitize.static_lint import (
+    lint_config_dict,
+    lint_faults,
+    lint_supervision,
+)
 
 
 def codes(findings):
@@ -191,6 +195,41 @@ class TestRunSpecLint:
             "expected_npus": 8,
         })
         assert report.ok()
+
+
+class TestSupervisionLint:
+    def test_good_section_in_run_spec(self):
+        report = lint_run_spec({
+            "topology": {"kind": "Torus", "shape": "2x2x2"},
+            "supervision": {"point_timeout_s": 30.0, "max_retries": 2,
+                            "on_poison": "quarantine"},
+        })
+        assert report.ok()
+
+    def test_unknown_key_suggests_closest(self):
+        findings = lint_supervision({"point_timeout": 30.0})
+        assert "unknown-parameter" in error_codes(findings)
+        assert "point_timeout_s" in findings[0].message
+
+    def test_range_rules(self):
+        findings = lint_supervision({"point_timeout_s": -1.0,
+                                     "max_retries": -2,
+                                     "backoff_factor": 0.5})
+        assert len([f for f in findings if f.code == "out-of-range"]) == 3
+
+    def test_on_poison_enum(self):
+        findings = lint_supervision({"on_poison": "explode"})
+        assert "out-of-range" in error_codes(findings)
+
+    def test_non_dict_section(self):
+        findings = lint_supervision(["timeout", 30])
+        assert "malformed-spec" in error_codes(findings)
+
+    def test_policy_construction_catches_the_rest(self):
+        # Non-numeric values skip the raw range rules; constructing the
+        # policy itself surfaces the TypeError as a finding.
+        findings = lint_supervision({"point_timeout_s": "forever"})
+        assert "supervision-invalid" in error_codes(findings)
 
 
 class TestPresets:
