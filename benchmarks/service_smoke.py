@@ -1,0 +1,209 @@
+"""Service smoke gate: `astra-repro serve` hardened edges, end to end.
+
+Drives a real daemon subprocess through the full contract documented in
+docs/SERVICE.md:
+
+* a malformed body and an invalid payload answer structured 400s,
+* a good payload is accepted (202) and completes,
+* an identical in-flight payload deduplicates onto the running job,
+* a full queue answers 429 with a Retry-After header,
+* SIGKILL with one job completed, one in flight and one queued, then a
+  restart on the same state directory: the completed job replays
+  bit-identically with zero re-simulation and the rest finish,
+* a second restart replays *everything* from the journal (0 simulations)
+  and a SIGTERM drains to exit 0.
+
+CI runs this as the `service-smoke` job and asserts exit 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+
+#: ~1 s on the fast backend: the "small" payload.
+SMALL = {"op": "allreduce", "size_mb": 0.0625}
+#: ~7 s: long enough to be reliably in flight when we SIGKILL.
+SLOW = {"op": "allreduce", "size_mb": 16, "shape": "4x4x8",
+        "preferred_set_splits": 64}
+
+DEADLINE_S = 120.0
+_LISTEN_RE = re.compile(r"listening on http://([\d.]+):(\d+)")
+_REPLAY_RE = re.compile(r"journal replay: (\d+) completed job\(s\) "
+                        r"restored, (\d+) re-enqueued")
+
+
+class Daemon:
+    """An `astra-repro serve` subprocess plus a tiny urllib client."""
+
+    def __init__(self, state_dir: str, queue_limit: int = 16):
+        self.proc = subprocess.Popen(
+            [sys.executable, "-u", "-m", "repro.cli", "serve",
+             "--port", "0", "--state-dir", state_dir,
+             "--queue-limit", str(queue_limit)],
+            stdout=subprocess.PIPE, text=True)
+        self.lines: list[str] = []
+        self._reader = threading.Thread(target=self._read, daemon=True)
+        self._reader.start()
+        self.base = f"http://127.0.0.1:{self._await_port()}"
+
+    def _read(self):
+        for line in self.proc.stdout:
+            print(f"    [daemon] {line.rstrip()}")
+            self.lines.append(line)
+
+    def _await_line(self, pattern: re.Pattern) -> re.Match:
+        deadline = time.monotonic() + DEADLINE_S
+        while time.monotonic() < deadline:
+            for line in list(self.lines):
+                match = pattern.search(line)
+                if match:
+                    return match
+            if self.proc.poll() is not None:
+                raise AssertionError(
+                    f"daemon died (rc={self.proc.returncode}) before "
+                    f"printing {pattern.pattern!r}")
+            time.sleep(0.05)
+        raise AssertionError(f"timed out waiting for {pattern.pattern!r}")
+
+    def _await_port(self) -> int:
+        return int(self._await_line(_LISTEN_RE).group(2))
+
+    def replay_counts(self) -> tuple[int, int]:
+        match = self._await_line(_REPLAY_RE)
+        return int(match.group(1)), int(match.group(2))
+
+    def get(self, path):
+        try:
+            with urllib.request.urlopen(f"{self.base}{path}", timeout=30) as r:
+                return r.status, json.loads(r.read()), r.headers
+        except urllib.error.HTTPError as e:
+            return e.code, json.loads(e.read()), e.headers
+
+    def post(self, path, body, raw=False):
+        data = body if raw else json.dumps(body).encode()
+        req = urllib.request.Request(f"{self.base}{path}", data=data)
+        try:
+            with urllib.request.urlopen(req, timeout=30) as r:
+                return r.status, json.loads(r.read()), r.headers
+        except urllib.error.HTTPError as e:
+            return e.code, json.loads(e.read()), e.headers
+
+    def await_state(self, job_id: str, *states: str) -> dict:
+        deadline = time.monotonic() + DEADLINE_S
+        while time.monotonic() < deadline:
+            status, job, _ = self.get(f"/v1/jobs/{job_id}")
+            assert status == 200, f"{job_id}: {status} {job}"
+            if job["state"] in states:
+                return job
+            time.sleep(0.1)
+        raise AssertionError(f"{job_id} never reached {states}")
+
+    def sigkill(self):
+        self.proc.kill()
+        self.proc.wait(timeout=30)
+
+    def sigterm(self) -> int:
+        self.proc.send_signal(signal.SIGTERM)
+        return self.proc.wait(timeout=DEADLINE_S)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--work-dir", default="service-smoke")
+    args = parser.parse_args(argv)
+    state = os.path.join(args.work_dir, "state")
+    os.makedirs(state, exist_ok=True)
+
+    print("== life 1: validation, dedup, backpressure ==")
+    daemon = Daemon(state, queue_limit=1)
+
+    status, body, _ = daemon.get("/healthz")
+    assert (status, body) == (200, {"status": "ok"}), body
+    status, body, _ = daemon.get("/readyz")
+    assert status == 200 and body["status"] == "ready", body
+
+    status, body, _ = daemon.post("/v1/jobs", b"{not json", raw=True)
+    assert status == 400 and body["error"] == "invalid-json", body
+    print("  malformed body -> 400 invalid-json")
+
+    status, body, _ = daemon.post("/v1/jobs", {"op": "bogus", "size_mb": -1})
+    assert status == 400 and body["error"] == "invalid-payload", body
+    fields = {e["field"] for e in body["errors"]}
+    assert {"op", "size_mb"} <= fields, body
+    print(f"  invalid payload -> structured 400 on {sorted(fields)}")
+
+    status, done_job, _ = daemon.post("/v1/jobs", SMALL)
+    assert status == 202, (status, done_job)
+    finished = daemon.await_state(done_job["job_id"], "done")
+    duration = finished["result"]["duration_cycles"]
+    assert duration > 0
+    print(f"  good payload -> 202 -> done ({duration:,.0f} cycles)")
+
+    status, slow_job, _ = daemon.post("/v1/jobs", SLOW)
+    assert status == 202, (status, slow_job)
+    daemon.await_state(slow_job["job_id"], "running")
+
+    status, dup, _ = daemon.post("/v1/jobs", SLOW)
+    assert status == 202 and dup["deduplicated"], dup
+    assert dup["job_id"] == slow_job["job_id"], dup
+    print("  identical in-flight payload -> deduplicated")
+
+    status, queued_job, _ = daemon.post("/v1/jobs", {**SMALL, "size_mb": 0.125})
+    assert status == 202 and not queued_job["deduplicated"], queued_job
+
+    status, body, headers = daemon.post("/v1/jobs", {**SMALL, "size_mb": 0.25})
+    assert status == 429 and body["error"] == "queue-full", (status, body)
+    assert headers["Retry-After"] == "1", dict(headers)
+    print("  full queue -> 429 with Retry-After")
+
+    status, job, _ = daemon.get(f"/v1/jobs/{slow_job['job_id']}")
+    assert job["state"] == "running", (
+        f"slow job finished before SIGKILL ({job['state']}); "
+        "grow SLOW so the crash window stays open")
+    daemon.sigkill()
+    print("  SIGKILL with 1 done, 1 running, 1 queued")
+
+    print("== life 2: restart on the same state dir ==")
+    daemon = Daemon(state)
+    replayed, resumed = daemon.replay_counts()
+    assert (replayed, resumed) == (1, 2), (replayed, resumed)
+    replayed_job = daemon.await_state(done_job["job_id"], "done")
+    assert replayed_job["result"]["duration_cycles"] == duration, (
+        "replayed result diverged from the pre-crash run")
+    print("  completed job replayed bit-identically, 0 re-simulations")
+    durations = {done_job["job_id"]: duration}
+    for job_id in (slow_job["job_id"], queued_job["job_id"]):
+        durations[job_id] = daemon.await_state(
+            job_id, "done")["result"]["duration_cycles"]
+    print("  interrupted + queued jobs finished after resume")
+    assert daemon.sigterm() == 0
+    print("  SIGTERM drained to exit 0")
+
+    print("== life 3: everything replays, nothing simulates ==")
+    daemon = Daemon(state)
+    replayed, resumed = daemon.replay_counts()
+    assert (replayed, resumed) == (3, 0), (replayed, resumed)
+    for job_id, expected in durations.items():
+        job = daemon.await_state(job_id, "done")
+        assert job["result"]["duration_cycles"] == expected, job_id
+    _, stats, _ = daemon.get("/readyz")
+    assert stats["simulations_run"] == 0, stats
+    print("  3 jobs restored from journal, simulations_run == 0")
+    assert daemon.sigterm() == 0
+
+    print("service smoke: all contracts held")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

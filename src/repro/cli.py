@@ -27,7 +27,13 @@ from repro.config.parameters import (
     TorusShape,
 )
 from repro.config.units import MB
-from repro.errors import ConfigError, ReproError
+from repro.errors import (
+    EXIT_CONFIG,
+    EXIT_OK,
+    EXIT_PARTIAL,
+    ConfigError,
+    ReproError,
+)
 from repro.harness.runners import (
     alltoall_platform,
     run_training,
@@ -320,7 +326,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
     if args.breakdown:
         print()
         print(format_breakdown(system.breakdown))
-    return 0
+    return EXIT_OK
 
 
 def _cmd_collective(args: argparse.Namespace) -> int:
@@ -338,7 +344,7 @@ def _cmd_collective(args: argparse.Namespace) -> int:
         print(f"{args.op} of {args.size_mb} MB: point "
               f"{outcome.status.value} ({outcome.failure_class}) after "
               f"{outcome.attempts} attempt(s)")
-        return 1
+        return EXIT_PARTIAL
     result = outcome.result
     print(f"{args.op} of {args.size_mb} MB on {result.label} "
           f"({result.num_npus} NPUs): {result.duration_cycles:,.0f} cycles")
@@ -361,8 +367,8 @@ def _cmd_collective(args: argparse.Namespace) -> int:
                                      seed=args.schedule_seed)
         print(report.summary())
         if not report.identical:
-            return 1
-    return 0
+            return EXIT_PARTIAL
+    return EXIT_OK
 
 
 def _cmd_bandwidth(args: argparse.Namespace) -> int:
@@ -376,7 +382,7 @@ def _cmd_bandwidth(args: argparse.Namespace) -> int:
                      sanitize=args.sanitize)
     print(f"{args.op} bandwidth test on {_build_platform(args).name}:")
     print(format_points(points))
-    return 0
+    return EXIT_OK
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
@@ -433,7 +439,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
         print(f"report written to {args.out}")
     if args.trajectory:
         print(f"trajectory log: {args.trajectory}")
-    return 0
+    return EXIT_OK
 
 
 #: Shared exit-code contract of the checking subcommands (lint, analyze),
@@ -476,7 +482,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                 print(f"{report.source}: ok")
 
     clean = all(report.ok(strict=args.strict) for report in reports)
-    return 0 if clean else 1
+    return EXIT_OK if clean else EXIT_PARTIAL
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -547,7 +553,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print(f"report written to {args.report}")
 
     clean = all(r.ok(strict=args.strict) for r in finding_reports)
-    return 0 if clean else 1
+    return EXIT_OK if clean else EXIT_PARTIAL
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -570,7 +576,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             json.dump(report.to_dict(), f, indent=2, sort_keys=True)
             f.write("\n")
         print(f"report written to {args.report}")
-    return 0 if report.ok else 1
+    return EXIT_OK if report.ok else EXIT_PARTIAL
 
 
 def _cmd_memory(args: argparse.Namespace) -> int:
@@ -590,8 +596,45 @@ def _cmd_memory(args: argparse.Namespace) -> int:
           f"({footprint.utilization(capacity):.1%} of {args.hbm_gb:g} GB HBM)")
     if not footprint.fits(capacity):
         print("  WARNING: does not fit the configured HBM capacity")
-        return 1
-    return 0
+        return EXIT_PARTIAL
+    return EXIT_OK
+
+
+#: Default per-job wall-clock deadline when ``serve`` runs without any
+#: supervision flags — a daemon must never let one hung payload wedge
+#: its single worker forever.
+_SERVE_DEFAULT_TIMEOUT_S = 300.0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import logging
+
+    from repro.parallel import SupervisionPolicy
+    from repro.service import ServiceConfig, ServiceDaemon
+
+    logging.basicConfig(
+        level=logging.DEBUG if args.verbose else logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s")
+    policy, journal_path, quarantine_dir = _supervision_from_args(args)
+    if policy is None:
+        policy = SupervisionPolicy(point_timeout_s=_SERVE_DEFAULT_TIMEOUT_S)
+    config = ServiceConfig(
+        host=args.host, port=args.port, state_dir=args.state_dir,
+        queue_limit=args.queue_limit, retry_after_s=args.retry_after,
+        policy=policy, progress_every_events=args.progress_every_events,
+        journal_path=journal_path, cache_dir=args.cache_dir,
+        quarantine_dir=quarantine_dir)
+    daemon = ServiceDaemon(config)
+    host, port = daemon.address
+    print(f"astra-repro serve listening on http://{host}:{port}")
+    print(f"state: journal={config.resolved_journal()} "
+          f"cache={config.resolved_cache_dir()} "
+          f"quarantine={config.resolved_quarantine_dir()}")
+    service = daemon.service
+    if service.replayed_done or service.resumed_jobs:
+        print(f"journal replay: {service.replayed_done} completed job(s) "
+              f"restored, {service.resumed_jobs} re-enqueued")
+    return daemon.serve_until_signal()
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -786,6 +829,36 @@ def build_arg_parser() -> argparse.ArgumentParser:
     mem.add_argument("--model-parallel-degree", type=int, default=1)
     mem.set_defaults(func=_cmd_memory)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the fault-tolerant simulation service: validated "
+             "payloads, bounded queue with backpressure, supervised "
+             "execution, journal-backed crash recovery (docs/SERVICE.md)",
+        epilog=_SUPERVISED_EXIT_CODES_DOC,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    _add_execution_args(serve)
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default loopback only)")
+    serve.add_argument("--port", type=int, default=8421,
+                       help="bind port; 0 picks a free port")
+    serve.add_argument("--state-dir", default="serve-state", metavar="DIR",
+                       help="durable daemon state: journal, run cache, "
+                            "quarantine bundles, progress spool — restart "
+                            "against the same DIR to resume after a crash")
+    serve.add_argument("--queue-limit", type=int, default=16, metavar="N",
+                       help="bounded job-queue capacity; a full queue "
+                            "answers 429 with Retry-After")
+    serve.add_argument("--retry-after", type=float, default=1.0,
+                       metavar="SECONDS",
+                       help="Retry-After hint sent with 429 responses")
+    serve.add_argument("--progress-every-events", type=int, default=4096,
+                       metavar="N",
+                       help="progress-vector snapshot cadence in executed "
+                            "events")
+    serve.add_argument("--verbose", action="store_true",
+                       help="per-request debug logging")
+    serve.set_defaults(func=_cmd_serve)
+
     return root
 
 
@@ -804,7 +877,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                                      quarantine_dir=quarantine_dir)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_CONFIG
     profile = RunProfile(name=args.command) if args.profile else None
     set_active_profile(profile)
     try:
@@ -817,10 +890,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # --on-poison=fail: the batch aborted on its first poison point.
         print(f"error: {exc}", file=sys.stderr)
         _report_quarantine(executor)
-        return 1
+        return EXIT_PARTIAL
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_CONFIG
     finally:
         set_default_executor(None)
         executor.close()
@@ -832,7 +905,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if _report_quarantine(executor):
         # Partial results: completed points were reported above, but at
         # least one point is in quarantine (docs/SUPERVISION.md).
-        rc = max(rc, 1)
+        rc = max(rc, EXIT_PARTIAL)
     return rc
 
 

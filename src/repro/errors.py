@@ -7,6 +7,22 @@ letting genuine programming errors (``TypeError`` etc.) propagate.
 
 from __future__ import annotations
 
+# -- the process exit-code contract ---------------------------------------------
+#
+# Every astra-repro subcommand that can partially succeed (lint, analyze,
+# chaos, supervised batches, serve) shares one three-value contract.  The
+# constants live here — next to the exceptions that map onto them — so the
+# CLI paths and the supervision/service layers declare it once instead of
+# re-hardcoding 0/1/2 at every return site.
+
+#: Clean exit: every point completed / no findings at the gating severity.
+EXIT_OK = 0
+#: Partial results: findings were reported, or at least one design point
+#: was quarantined — completed work is still reported.
+EXIT_PARTIAL = 1
+#: Usage or configuration error: nothing was simulated.
+EXIT_CONFIG = 2
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro package."""

@@ -194,9 +194,18 @@ def run_collective(
     max_events: Optional[int] = MAX_EVENTS,
     sanitize: bool = False,
     events: Optional[EventQueue] = None,
+    on_system: Optional[Callable[[System], None]] = None,
 ) -> CollectiveResult:
-    """Run one chunked collective to completion on a fresh platform."""
+    """Run one chunked collective to completion on a fresh platform.
+
+    ``on_system`` is called with the freshly built system before the
+    first event fires — observers that need system state (the service
+    progress writer samples :meth:`System.progress_vector`) bind here
+    without the runner growing observer-specific parameters.
+    """
     system = platform.build_system(sanitize=sanitize, events=events)
+    if on_system is not None:
+        on_system(system)
     collective = system.request_collective(op, size_bytes, name=f"{op.value}")
     system.run_until_idle(max_events=max_events)
     if not collective.done:

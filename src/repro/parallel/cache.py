@@ -31,10 +31,15 @@ cache summary, and treated as a miss so the next store rewrites it.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
 from dataclasses import dataclass
 from typing import Any, Optional
+
+#: Per-process temp-file sequence: two threads of one process writing the
+#: same key get distinct temp names (pids already distinguish processes).
+_TMP_SEQ = itertools.count()
 
 from repro.errors import ReproError
 from repro.system.stats import DelayBreakdown
@@ -127,16 +132,33 @@ class CacheStats:
 class RunCache:
     """A directory of content-addressed run results.
 
+    Safe to share between concurrent processes (the parallel executor's
+    workers, several ``astra-repro`` invocations, the serve daemon's
+    clients): writes are atomic renames, directory creation tolerates
+    races, and a corrupt entry both racers notice is quarantined — and
+    counted — exactly once.  An optional ``namespace`` scopes entries
+    under a subdirectory, so tenants sharing one cache root (e.g. a
+    service instance per team) can isolate their entries and their
+    corrupt-quarantine blast radius without separate roots.
+
     >>> import tempfile
     >>> cache = RunCache(tempfile.mkdtemp())
     >>> cache.get("0" * 64) is None
     True
     """
 
-    def __init__(self, directory: str):
+    def __init__(self, directory: str, namespace: Optional[str] = None):
         if not directory:
             raise ReproError("run cache needs a directory")
+        if namespace is not None:
+            if (not namespace or os.sep in namespace or namespace in
+                    (".", "..") or namespace.startswith(".")):
+                raise ReproError(
+                    f"cache namespace must be a plain directory name, "
+                    f"got {namespace!r}")
+            directory = os.path.join(directory, namespace)
         self.directory = directory
+        self.namespace = namespace
         self.stats = CacheStats()
 
     def _path(self, key: str) -> str:
@@ -172,21 +194,39 @@ class RunCache:
         return payload
 
     def _quarantine_corrupt(self, key: str) -> None:
-        """Move a damaged entry aside to ``corrupt/`` and count it."""
+        """Move a damaged entry aside to ``corrupt/`` and count it.
+
+        Two processes can notice the same damaged entry at once; the
+        ``os.replace`` is the arbiter — exactly one racer moves the file
+        (and counts it), the loser sees ``FileNotFoundError`` and counts
+        nothing.  Neither ever surfaces an exception to its caller: a
+        quarantine race is still just a cache miss.
+        """
         path = self._path(key)
         corrupt_dir = os.path.join(self.directory, "corrupt")
         try:
             os.makedirs(corrupt_dir, exist_ok=True)
-            os.replace(path, os.path.join(corrupt_dir, os.path.basename(path)))
         except OSError:
+            return  # unwritable cache root: stay a plain miss
+        try:
+            os.replace(path, os.path.join(corrupt_dir, os.path.basename(path)))
+        except FileNotFoundError:
             return  # racing reader already moved it; nothing to count twice
+        except OSError:
+            return
         self.stats.corrupt += 1
 
     def put(self, key: str, payload: dict[str, Any]) -> None:
-        """Store ``payload`` under ``key`` (atomic; last writer wins)."""
+        """Store ``payload`` under ``key`` (atomic; last writer wins).
+
+        Concurrent writers of the same key are safe: each writes its own
+        pid+sequence temp file, and the final ``os.replace`` is atomic —
+        readers only ever see a complete entry from one writer or the
+        other.
+        """
         os.makedirs(self.directory, exist_ok=True)
         path = self._path(key)
-        tmp = f"{path}.{os.getpid()}.tmp"
+        tmp = f"{path}.{os.getpid()}.{next(_TMP_SEQ)}.tmp"
         with open(tmp, "w") as f:
             json.dump(payload, f, sort_keys=True)
             f.write("\n")

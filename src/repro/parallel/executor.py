@@ -56,6 +56,14 @@ class RunPoint:
     size_bytes: float
     max_events: Optional[int] = None
     sanitize: bool = False
+    #: When set, the executing worker writes progress-vector snapshots
+    #: (simulated time, events processed, the watchdog progress vector)
+    #: to this file as the run advances — the serve daemon streams them
+    #: to its clients (docs/SERVICE.md).  Purely observational: the
+    #: snapshots never touch the simulated schedule or the cache key.
+    progress_path: Optional[str] = None
+    #: Snapshot cadence in executed events (only with ``progress_path``).
+    progress_every_events: int = 4096
 
 
 def _execute_point(point: RunPoint, keep_system: bool = False) -> Any:
@@ -70,8 +78,21 @@ def _execute_point(point: RunPoint, keep_system: bool = False) -> Any:
     from repro.harness.runners import MAX_EVENTS, run_collective
 
     max_events = point.max_events if point.max_events is not None else MAX_EVENTS
+    events = on_system = writer = None
+    if point.progress_path:
+        from repro.events.engine import EventQueue
+        from repro.service.progress import ProgressWriter
+
+        events = EventQueue()
+        writer = ProgressWriter(point.progress_path,
+                                every_events=point.progress_every_events)
+        events.watcher = writer.on_event
+        on_system = writer.bind
     result = run_collective(point.builder(), point.op, point.size_bytes,
-                            max_events=max_events, sanitize=point.sanitize)
+                            max_events=max_events, sanitize=point.sanitize,
+                            events=events, on_system=on_system)
+    if writer is not None:
+        writer.finish(result)
     return result if keep_system else replace(result, system=None)
 
 

@@ -55,7 +55,13 @@ from dataclasses import dataclass, replace
 from random import Random
 from typing import Any, Callable, Optional, Sequence
 
-from repro.errors import ConfigError, ReproError, SimulationError
+from repro.errors import (
+    EXIT_OK,
+    EXIT_PARTIAL,
+    ConfigError,
+    ReproError,
+    SimulationError,
+)
 from repro.parallel.cache import payload_to_result, result_to_payload
 from repro.parallel.executor import (
     ParallelExecutor,
@@ -247,7 +253,7 @@ def results_with_gaps(outcomes: Sequence[PointOutcome]) -> list[Optional[Any]]:
 
 def exit_code_for(outcomes: Sequence[PointOutcome]) -> int:
     """The documented CLI exit code for a batch: 0 all-ok, 1 partial."""
-    return 0 if all(o.ok for o in outcomes) else 1
+    return EXIT_OK if all(o.ok for o in outcomes) else EXIT_PARTIAL
 
 
 # -- the append-only outcome journal -----------------------------------------------
@@ -261,17 +267,106 @@ class OutcomeJournal:
     (``load`` keeps the last record per key — re-runs append, never
     rewrite).  OK records carry the result payload, so resume works even
     without (or across) a run cache.
+
+    Shared-path semantics: every append is a single ``write()`` on an
+    ``O_APPEND`` descriptor, so concurrent writers on one local POSIX
+    file serialize whole lines instead of interleaving bytes.  A process
+    that must be the *only* writer (the ``astra-repro serve`` daemon)
+    passes ``exclusive=True``: a ``<path>.lock`` file holding the owner
+    pid is taken at construction, and a second exclusive opener fails
+    fast with a :class:`~repro.errors.ConfigError` naming the live owner
+    instead of silently sharing the journal.  A lock left behind by a
+    killed process (the pid is dead) is reclaimed automatically.
     """
 
-    def __init__(self, path: str):
+    def __init__(self, path: str, exclusive: bool = False):
         if not path:
             raise ConfigError("outcome journal needs a path")
         self.path = path
+        self._lock_path: Optional[str] = None
+        if exclusive:
+            self._acquire_lock()
+
+    # -- exclusive-writer lock -----------------------------------------------------
+
+    @property
+    def lock_path(self) -> str:
+        return f"{self.path}.lock"
+
+    def _acquire_lock(self) -> None:
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        for _ in range(2):  # second pass after reclaiming a stale lock
+            try:
+                fd = os.open(self.lock_path,
+                             os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                owner = self._lock_owner()
+                if owner is not None:
+                    raise ConfigError(
+                        f"journal {self.path} is locked by running process "
+                        f"{owner} ({self.lock_path}); two writers appending "
+                        f"to one journal would interleave their records — "
+                        f"point the second daemon at its own journal")
+                # Stale lock from a killed owner: reclaim and retry once.
+                try:
+                    os.unlink(self.lock_path)
+                except OSError:
+                    pass
+                continue
+            with os.fdopen(fd, "w") as f:
+                f.write(f"{os.getpid()}\n")
+            self._lock_path = self.lock_path
+            return
+        raise ConfigError(
+            f"could not acquire the journal lock {self.lock_path}; "
+            f"another writer keeps recreating it")
+
+    def _lock_owner(self) -> Optional[int]:
+        """The live pid holding the lock, or ``None`` if stale/unreadable."""
+        try:
+            with open(self.lock_path) as f:
+                pid = int(f.read().strip())
+        except (OSError, ValueError):
+            return None
+        if pid == os.getpid():
+            return None  # our own (re-entrant construction): not a conflict
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return None
+        except PermissionError:
+            return pid  # alive, owned by someone else
+        return pid
+
+    def close(self) -> None:
+        """Release the exclusive lock (no-op for shared journals)."""
+        if self._lock_path is not None:
+            try:
+                os.unlink(self._lock_path)
+            except OSError:
+                pass
+            self._lock_path = None
+
+    def __enter__(self) -> "OutcomeJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- reading -------------------------------------------------------------------
 
     @staticmethod
-    def load(path: str) -> dict[str, dict[str, Any]]:
-        """Key → last journal record; missing file is an empty journal."""
-        records: dict[str, dict[str, Any]] = {}
+    def load_records(path: str) -> list[dict[str, Any]]:
+        """Every parseable current-schema record, in append order.
+
+        Records from a *different* schema version (older or newer code)
+        are skipped, never misread: a journal written by a future schema
+        replays as empty rather than resuming from misunderstood state.
+        A torn tail line from an interrupted writer is skipped too.
+        """
+        records: list[dict[str, Any]] = []
         try:
             with open(path) as f:
                 lines = f.readlines()
@@ -286,7 +381,20 @@ class OutcomeJournal:
             except json.JSONDecodeError:
                 continue  # torn tail write of an interrupted campaign
             if (isinstance(record, dict)
-                    and record.get("schema") == JOURNAL_SCHEMA
+                    and record.get("schema") == JOURNAL_SCHEMA):
+                records.append(record)
+        return records
+
+    @staticmethod
+    def load(path: str) -> dict[str, dict[str, Any]]:
+        """Key → last *outcome* record; missing file is an empty journal.
+
+        Records of other types (the service daemon journals ``"job"``
+        submission records into the same file) do not shadow outcomes.
+        """
+        records: dict[str, dict[str, Any]] = {}
+        for record in OutcomeJournal.load_records(path):
+            if (record.get("type", "outcome") == "outcome"
                     and record.get("key")):
                 records[record["key"]] = record
         return records
@@ -295,10 +403,16 @@ class OutcomeJournal:
         directory = os.path.dirname(self.path)
         if directory:
             os.makedirs(directory, exist_ok=True)
-        with open(self.path, "a") as f:
-            json.dump({"schema": JOURNAL_SCHEMA, **record}, f, sort_keys=True)
-            f.write("\n")
-            f.flush()
+        line = json.dumps({"schema": JOURNAL_SCHEMA, **record},
+                          sort_keys=True) + "\n"
+        # One write() on an O_APPEND fd: concurrent writers append whole
+        # lines, never interleaved fragments (local POSIX filesystems).
+        fd = os.open(self.path, os.O_CREAT | os.O_WRONLY | os.O_APPEND,
+                     0o644)
+        try:
+            os.write(fd, line.encode())
+        finally:
+            os.close(fd)
 
 
 def _structural_key(fn: Any, op: Any, size: Any, index: int) -> str:

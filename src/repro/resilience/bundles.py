@@ -23,3 +23,20 @@ def write_bundle(directory: str, stem: str, payload: dict[str, Any]) -> str:
         json.dump(payload, f, indent=2, sort_keys=True)
         f.write("\n")
     return path
+
+
+def read_bundle(path: str) -> Any:
+    """Load a bundle previously written by :func:`write_bundle`.
+
+    Defensive by design: the readers (the `astra-repro serve` job API
+    inlines a quarantined job's bundle for its remote client; CI artifact
+    tooling scans bundle directories) must not fail because a bundle was
+    deleted, truncated, or hand-edited — a missing or unparseable bundle
+    reads as ``None`` and only the diagnostic detail is lost.
+    """
+    try:
+        with open(path) as f:
+            loaded = json.load(f)
+    except (OSError, ValueError):
+        return None
+    return loaded if isinstance(loaded, dict) else None

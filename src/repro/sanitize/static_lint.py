@@ -16,7 +16,10 @@ a constructed :class:`SimulationConfig`, :func:`lint_run_spec` /
 harness :class:`PlatformSpec`, :func:`lint_presets` for everything
 shipped in :mod:`repro.config.presets`, and :func:`lint_search_space`
 for `astra-repro search` space documents (routed automatically by
-:func:`lint_run_spec` when a JSON file declares ``axes``).
+:func:`lint_run_spec` when a JSON file declares ``axes``).  Service
+payloads (the ``astra-repro serve`` POST body; docs/SERVICE.md) route to
+:func:`repro.service.schema.lint_payload` when a document carries
+``op``/``size_mb``, so the daemon's admission schema is lintable offline.
 """
 
 from __future__ import annotations
@@ -730,6 +733,15 @@ def lint_run_spec(data: Any, source: str = "") -> LintReport:
     if "axes" in data or ("num_npus" in data and "config" not in data):
         # A search-space document (the `astra-repro search --space` format).
         report.extend(lint_search_space(data, source=source))
+        return report
+
+    if "op" in data and "size_mb" in data and "config" not in data:
+        # A service payload (the `astra-repro serve` POST body format):
+        # the same strict schema the daemon enforces at admission, so a
+        # payload can be linted offline before it is ever submitted.
+        from repro.service.schema import lint_payload
+
+        report.extend(lint_payload(data, source=source))
         return report
 
     is_bare_config = "system" in data and "config" not in data

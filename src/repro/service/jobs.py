@@ -1,0 +1,231 @@
+"""Job registry for the simulation service.
+
+Tracks every accepted request from admission to terminal state and
+implements in-flight request coalescing: two clients submitting payloads
+with the same RunCache content key while the first is still queued or
+running share one :class:`Job` (and therefore one simulation) — the
+second submit returns the first job's id with ``deduplicated: true``.
+A *completed* key deliberately does not coalesce: a re-submit becomes a
+fresh job that the supervised executor resolves instantly from the
+journal or cache (zero re-simulation), keeping per-job metadata honest.
+
+All host timestamps here are operational metadata (API responses,
+drain diagnostics); none of them ever reaches simulated state.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import re
+import threading
+import time  # det: allow-file[wall-clock] service jobs carry host submission/completion times by design
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import ReproError
+from repro.service.schema import SimulationPayload
+
+
+class JobState(enum.Enum):
+    """Lifecycle of one service job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    #: Completed with a result (fresh, cache, or journal replay).
+    DONE = "done"
+    #: Terminal failure: the point was quarantined by the supervisor
+    #: (crash / deadline / poison) — carries the failure class + error.
+    QUARANTINED = "quarantined"
+
+
+#: States a job never leaves.
+TERMINAL_STATES = frozenset({JobState.DONE, JobState.QUARANTINED})
+
+_JOB_ID_RE = re.compile(r"^job-(\d+)-")
+
+
+@dataclass
+class Job:
+    """One accepted simulation request."""
+
+    job_id: str
+    key: str
+    payload: SimulationPayload
+    priority: int
+    state: JobState = JobState.QUEUED
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: Supervised attempts executed for this job (0 for replays).
+    attempts: int = 0
+    #: How many later submits coalesced onto this in-flight job.
+    deduped_hits: int = 0
+    from_journal: bool = False
+    from_cache: bool = False
+    #: Result headline for DONE jobs (duration, NPUs, breakdown).
+    result: Optional[dict[str, Any]] = None
+    failure_class: Optional[str] = None
+    error: Optional[str] = None
+    bundle_path: Optional[str] = None
+    #: Where the executing worker writes progress snapshots.
+    progress_path: Optional[str] = None
+    #: Bumped on every state change (progress streaming watches it).
+    version: int = 0
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def to_dict(self, include_payload: bool = True) -> dict[str, Any]:
+        data: dict[str, Any] = {
+            "job_id": self.job_id,
+            "key": self.key,
+            "state": self.state.value,
+            "priority": self.priority,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "attempts": self.attempts,
+            "deduplicated_hits": self.deduped_hits,
+            "from_journal": self.from_journal,
+            "from_cache": self.from_cache,
+        }
+        if include_payload:
+            data["payload"] = self.payload.canonical()
+        if self.result is not None:
+            data["result"] = self.result
+        if self.failure_class is not None:
+            data["failure_class"] = self.failure_class
+        if self.error is not None:
+            data["error"] = self.error
+        if self.bundle_path is not None:
+            data["bundle_path"] = self.bundle_path
+        return data
+
+
+class JobStore:
+    """Thread-safe job registry + in-flight coalescing index."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Condition()
+        self._jobs: dict[str, Job] = {}
+        #: content key → job id, for QUEUED/RUNNING jobs only.
+        self._active_by_key: dict[str, str] = {}
+        self._seq = itertools.count(1)
+
+    # -- admission ----------------------------------------------------------------
+
+    def submit(self, payload: SimulationPayload, key: str,
+               progress_path: Optional[str] = None) -> tuple[Job, bool]:
+        """Register a request; returns ``(job, deduplicated)``.
+
+        An in-flight job with the same content key absorbs the submit
+        (``deduplicated=True``) — one simulation serves both clients.
+        """
+        with self._lock:
+            active_id = self._active_by_key.get(key)
+            if active_id is not None:
+                job = self._jobs[active_id]
+                job.deduped_hits += 1
+                return job, True
+            job = Job(job_id=self._new_id(key), key=key, payload=payload,
+                      priority=payload.priority, progress_path=progress_path)
+            self._jobs[job.job_id] = job
+            self._active_by_key[key] = job.job_id
+            return job, False
+
+    def restore(self, job_id: str, payload: SimulationPayload, key: str,
+                priority: int) -> Job:
+        """Re-register a journal-replayed job under its original id."""
+        with self._lock:
+            match = _JOB_ID_RE.match(job_id)
+            if match:
+                # Keep fresh ids ahead of every restored one.
+                floor = int(match.group(1))
+                while next(self._seq) < floor:
+                    pass
+            if job_id in self._jobs:
+                raise ReproError(f"duplicate journal job id {job_id}")
+            job = Job(job_id=job_id, key=key, payload=payload,
+                      priority=priority, from_journal=True)
+            self._jobs[job_id] = job
+            self._active_by_key[key] = job_id
+            return job
+
+    def _new_id(self, key: str) -> str:
+        return f"job-{next(self._seq):06d}-{key[:12]}"
+
+    # -- transitions --------------------------------------------------------------
+
+    def mark_running(self, job: Job) -> None:
+        with self._lock:
+            job.state = JobState.RUNNING
+            job.started_at = time.time()
+            job.version += 1
+            self._lock.notify_all()
+
+    def finish(self, job: Job, state: JobState, *,
+               result: Optional[dict[str, Any]] = None,
+               attempts: int = 0, from_cache: bool = False,
+               from_journal: bool = False,
+               failure_class: Optional[str] = None,
+               error: Optional[str] = None,
+               bundle_path: Optional[str] = None) -> None:
+        if state not in TERMINAL_STATES:
+            raise ReproError(f"finish() needs a terminal state, got {state}")
+        with self._lock:
+            job.state = state
+            job.finished_at = time.time()
+            job.attempts = attempts
+            job.result = result
+            job.from_cache = from_cache
+            job.from_journal = job.from_journal or from_journal
+            job.failure_class = failure_class
+            job.error = error
+            job.bundle_path = bundle_path
+            job.version += 1
+            if self._active_by_key.get(job.key) == job.job_id:
+                del self._active_by_key[job.key]
+            self._lock.notify_all()
+
+    # -- queries ------------------------------------------------------------------
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list[Job]:
+        """Every job, in admission order."""
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda j: j.job_id)
+
+    def counts(self) -> dict[str, int]:
+        with self._lock:
+            by_state = dict.fromkeys((s.value for s in JobState), 0)
+            deduped = 0
+            for job in self._jobs.values():
+                by_state[job.state.value] += 1
+                deduped += job.deduped_hits
+            by_state["total"] = len(self._jobs)
+            by_state["deduplicated_submits"] = deduped
+            return by_state
+
+    def wait_for_change(self, job: Job, version: int,
+                        timeout: float) -> int:
+        """Block until ``job.version`` moves past ``version`` (or timeout);
+        returns the current version.  Progress streaming's cheap wakeup."""
+        deadline = time.monotonic() + timeout
+        with self._lock:
+            while job.version == version:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._lock.wait(timeout=remaining):
+                    break
+            return job.version
+
+    def forget(self, job: Job) -> None:
+        """Roll back an admission the queue refused (429 path)."""
+        with self._lock:
+            self._jobs.pop(job.job_id, None)
+            if self._active_by_key.get(job.key) == job.job_id:
+                del self._active_by_key[job.key]

@@ -1,0 +1,110 @@
+"""Bounded priority job queue with backpressure.
+
+The service's admission control: a fixed-capacity priority queue whose
+``put`` *never blocks* — a full queue raises :class:`QueueFullError`
+immediately, which the HTTP layer translates into ``429 Too Many
+Requests`` with a ``Retry-After`` header.  Backpressure surfaces to the
+client that caused it instead of stalling the accept loop (and with it
+every other client's health checks).
+
+Ordering: higher ``priority`` first; FIFO within a priority band (the
+admission sequence number is the tiebreak), so equal-priority jobs can
+never starve each other and the drain order of a SIGTERM'd daemon is
+deterministic given the admission order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from typing import Any, Optional
+
+from repro.errors import ConfigError, ReproError
+
+
+class QueueFullError(ReproError):
+    """The bounded queue rejected an admission (HTTP 429 material)."""
+
+    def __init__(self, limit: int, retry_after_s: float):
+        self.limit = limit
+        self.retry_after_s = retry_after_s
+        super().__init__(
+            f"job queue is full ({limit} queued jobs); retry in "
+            f"{retry_after_s:g}s")
+
+
+class QueueClosedError(ReproError):
+    """``put`` after ``close`` — the daemon is draining (HTTP 503)."""
+
+
+class BoundedJobQueue:
+    """Thread-safe bounded priority queue (see the module docstring).
+
+    >>> q = BoundedJobQueue(limit=2)
+    >>> q.put("low", priority=0); q.put("high", priority=9)
+    >>> q.get(), q.get()
+    ('high', 'low')
+    """
+
+    def __init__(self, limit: int, retry_after_s: float = 1.0):
+        if limit < 1:
+            raise ConfigError(f"queue limit must be >= 1, got {limit}")
+        if retry_after_s <= 0:
+            raise ConfigError(
+                f"retry_after_s must be positive, got {retry_after_s}")
+        self.limit = limit
+        self.retry_after_s = retry_after_s
+        self._heap: list[tuple[int, int, Any]] = []
+        self._seq = itertools.count()
+        self._cond = threading.Condition()
+        self._closed = False
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._heap)
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def put(self, job: Any, priority: int = 0, force: bool = False) -> None:
+        """Admit ``job``; raises :class:`QueueFullError` at capacity.
+
+        ``force`` bypasses the capacity check (never the closed check) —
+        used only for journal-resumed jobs on daemon restart, which were
+        already admitted in a previous life and must not be bounced by a
+        smaller restart-time limit.
+        """
+        with self._cond:
+            if self._closed:
+                raise QueueClosedError(
+                    "job queue is closed (daemon is draining)")
+            if not force and len(self._heap) >= self.limit:
+                raise QueueFullError(self.limit, self.retry_after_s)
+            heapq.heappush(self._heap, (-priority, next(self._seq), job))
+            self._cond.notify()
+
+    def get(self, timeout: Optional[float] = None) -> Optional[Any]:
+        """Highest-priority job, blocking up to ``timeout``; ``None`` on
+        timeout or when the queue is closed and empty."""
+        with self._cond:
+            while not self._heap:
+                if self._closed:
+                    return None
+                if not self._cond.wait(timeout=timeout):
+                    return None
+            return heapq.heappop(self._heap)[2]
+
+    def close(self) -> None:
+        """Refuse further admissions and wake blocked getters; queued
+        jobs stay and drain through ``get``."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def snapshot(self) -> list[Any]:
+        """Queued jobs in drain order (diagnostics only)."""
+        with self._cond:
+            return [entry[2] for entry in sorted(self._heap)]

@@ -81,3 +81,35 @@ def hang_if_two(x: int):
     if x == 2:
         time.sleep(60.0)
     return x * x
+
+
+def append_journal_lines(path: str, writer_id: int, count: int):
+    """Append ``count`` outcome records from one concurrent writer.
+
+    Used by the shared-journal race tests: several processes run this
+    simultaneously against one path, and every written line must come
+    back whole (O_APPEND single-write atomicity)."""
+    from repro.parallel import OutcomeJournal
+
+    journal = OutcomeJournal(path)
+    for i in range(count):
+        journal.append({"type": "outcome", "key": f"w{writer_id}-k{i}",
+                        "status": "ok", "writer": writer_id, "seq": i,
+                        "padding": "x" * 256})
+    return writer_id
+
+
+def hold_journal_lock(path: str, acquired_path: str, release_path: str):
+    """Take the exclusive journal lock and hold it until told to release.
+
+    Runs in a live subprocess so the lock's owner pid passes the
+    ``os.kill(pid, 0)`` liveness probe in the parent's test."""
+    from repro.parallel import OutcomeJournal
+
+    journal = OutcomeJournal(path, exclusive=True)
+    with open(acquired_path, "w") as f:
+        f.write(str(os.getpid()))
+    while not os.path.exists(release_path):
+        time.sleep(0.02)
+    journal.close()
+    return os.getpid()

@@ -149,3 +149,72 @@ class TestRunCache:
 
         with pytest.raises(ReproError):
             RunCache("")
+
+
+class TestConcurrentClients:
+    """Two processes sharing one cache directory must never surface an
+    exception to either — races resolve to at-most-one count."""
+
+    def test_namespace_scopes_entries(self, tmp_path):
+        a = RunCache(str(tmp_path), namespace="team-a")
+        b = RunCache(str(tmp_path), namespace="team-b")
+        key = "a" * 64
+        a.put(key, {"schema": PAYLOAD_SCHEMA, "key": key, "x": 1})
+        assert a.get(key)["x"] == 1
+        assert b.get(key) is None  # isolated roots
+        assert os.path.isdir(os.path.join(str(tmp_path), "team-a"))
+        assert a.directory != b.directory
+
+    @pytest.mark.parametrize("bad", ["", ".", "..", "a/b", ".hidden"])
+    def test_bad_namespace_rejected(self, tmp_path, bad):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            RunCache(str(tmp_path), namespace=bad)
+
+    def test_concurrent_same_key_put_is_atomic(self, tmp_path):
+        """Interleaved writers of one key never leave a torn entry: the
+        per-pid+sequence temp names keep them from clobbering each
+        other's in-progress file, and the final rename is atomic."""
+        a = RunCache(str(tmp_path))
+        b = RunCache(str(tmp_path))
+        key = "d" * 64
+        a.put(key, {"schema": PAYLOAD_SCHEMA, "key": key, "writer": "a"})
+        b.put(key, {"schema": PAYLOAD_SCHEMA, "key": key, "writer": "b"})
+        entry = RunCache(str(tmp_path)).get(key)
+        assert entry["writer"] in ("a", "b")  # last writer wins, whole
+        leftovers = [n for n in os.listdir(str(tmp_path))
+                     if n.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_corrupt_race_counts_once_and_never_raises(self, tmp_path):
+        """Two racing readers notice the same damaged entry; exactly one
+        quarantines (and counts) it, the loser sees a plain miss."""
+        first = RunCache(str(tmp_path))
+        second = RunCache(str(tmp_path))
+        key = "e" * 64
+        os.makedirs(str(tmp_path), exist_ok=True)
+        with open(os.path.join(str(tmp_path), f"{key}.json"), "w") as f:
+            f.write("{torn")
+        # Both caches have "seen" the damage; the second's move runs
+        # after the first already won the os.replace race.
+        assert first.get(key) is None
+        second._quarantine_corrupt(key)  # the losing racer's attempt
+        assert first.stats.corrupt == 1
+        assert second.stats.corrupt == 0
+        assert os.path.exists(
+            os.path.join(str(tmp_path), "corrupt", f"{key}.json"))
+
+    def test_unwritable_quarantine_dir_stays_a_plain_miss(self, tmp_path):
+        """A cache root where corrupt/ cannot be created degrades to a
+        miss instead of raising at the caller."""
+        cache = RunCache(str(tmp_path))
+        key = "f" * 64
+        os.makedirs(str(tmp_path), exist_ok=True)
+        with open(os.path.join(str(tmp_path), f"{key}.json"), "w") as f:
+            f.write("{torn")
+        with open(os.path.join(str(tmp_path), "corrupt"), "w") as f:
+            f.write("not a directory")  # makedirs will fail
+        assert cache.get(key) is None  # no exception surfaces
+        assert cache.stats.corrupt == 0
+        assert cache.stats.misses == 1

@@ -8,6 +8,8 @@ in — never the test process.
 import dataclasses
 import functools
 import json
+import os
+import time
 
 import pytest
 
@@ -282,6 +284,125 @@ class TestJournalResume:
         journal.append({"key": "k", "status": "crashed"})
         journal.append({"key": "k", "status": "ok"})
         assert OutcomeJournal.load(path)["k"]["status"] == "ok"
+
+
+class TestJournalSharedPath:
+    """Shared-journal misuse: concurrent writers must serialize whole
+    lines or fail fast with a clear diagnostic — never interleave."""
+
+    def test_concurrent_writers_never_tear_lines(self, tmp_path):
+        """Four processes appending to one journal simultaneously: every
+        line parses, and every record from every writer is present."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        from _supervision_helpers import append_journal_lines
+
+        path = str(tmp_path / "journal.jsonl")
+        writers, lines_each = 4, 50
+        with ProcessPoolExecutor(max_workers=writers) as pool:
+            futures = [pool.submit(append_journal_lines, path, w, lines_each)
+                       for w in range(writers)]
+            assert sorted(f.result() for f in futures) == list(range(writers))
+        with open(path) as f:
+            raw = f.readlines()
+        assert len(raw) == writers * lines_each
+        records = [json.loads(line) for line in raw]  # every line whole
+        seen = {(r["writer"], r["seq"]) for r in records}
+        assert len(seen) == writers * lines_each
+        assert len(OutcomeJournal.load(path)) == writers * lines_each
+
+    def test_exclusive_lock_fails_fast_naming_live_owner(self, tmp_path):
+        """A second exclusive writer against a journal held by a LIVE
+        process gets a ConfigError naming the owner pid, not silent
+        sharing."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        from _supervision_helpers import hold_journal_lock
+
+        path = str(tmp_path / "journal.jsonl")
+        acquired = str(tmp_path / "acquired")
+        release = str(tmp_path / "release")
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            future = pool.submit(hold_journal_lock, path, acquired, release)
+            try:
+                deadline = time.monotonic() + DEADLINE_S
+                while not os.path.exists(acquired):
+                    assert time.monotonic() < deadline
+                    time.sleep(0.02)
+                with open(acquired) as f:
+                    owner_pid = int(f.read())
+                with pytest.raises(ConfigError) as excinfo:
+                    OutcomeJournal(path, exclusive=True)
+                assert str(owner_pid) in str(excinfo.value)
+                assert "its own journal" in str(excinfo.value)
+            finally:
+                with open(release, "w") as f:
+                    f.write("go")
+            assert future.result() == owner_pid
+        # Owner released: the lock is free for the next daemon.
+        OutcomeJournal(path, exclusive=True).close()
+
+    def test_stale_lock_from_dead_owner_is_reclaimed(self, tmp_path):
+        """A lock left by a SIGKILLed daemon (dead pid) must not block a
+        restart — the acceptance crash-recovery path depends on it."""
+        import subprocess
+        import sys
+
+        path = str(tmp_path / "journal.jsonl")
+        dead = subprocess.run([sys.executable, "-c",
+                               "import os; print(os.getpid())"],
+                              capture_output=True, text=True, check=True)
+        dead_pid = int(dead.stdout)
+        with open(f"{path}.lock", "w") as f:
+            f.write(f"{dead_pid}\n")
+        journal = OutcomeJournal(path, exclusive=True)  # reclaims, no raise
+        with open(f"{path}.lock") as f:
+            assert int(f.read()) == os.getpid()
+        journal.close()
+        assert not os.path.exists(f"{path}.lock")
+
+    def test_unreadable_lock_is_treated_as_stale(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with open(f"{path}.lock", "w") as f:
+            f.write("not-a-pid")
+        OutcomeJournal(path, exclusive=True).close()
+
+    def test_newer_schema_records_replay_as_empty(self, tmp_path):
+        """A journal written by FUTURE code must not resume from
+        misunderstood state: other-schema records are skipped, current
+        ones still load."""
+        from repro.parallel.supervisor import JOURNAL_SCHEMA
+
+        path = str(tmp_path / "journal.jsonl")
+        OutcomeJournal(path).append({"type": "outcome", "key": "old",
+                                     "status": "ok"})
+        with open(path, "a") as f:
+            f.write(json.dumps({"schema": JOURNAL_SCHEMA + 1,
+                                "type": "outcome", "key": "future",
+                                "status": "ok"}) + "\n")
+            f.write(json.dumps({"type": "outcome", "key": "versionless",
+                                "status": "ok"}) + "\n")
+        loaded = OutcomeJournal.load(path)
+        assert set(loaded) == {"old"}
+        assert [r["key"] for r in OutcomeJournal.load_records(path)] == ["old"]
+
+    def test_job_records_do_not_shadow_outcomes(self, tmp_path):
+        """The serve daemon journals "job" submission records into the
+        same file; load() must keep returning the outcome for a key."""
+        path = str(tmp_path / "journal.jsonl")
+        journal = OutcomeJournal(path)
+        journal.append({"type": "outcome", "key": "k", "status": "ok",
+                        "payload": {"x": 1}})
+        journal.append({"type": "job", "key": "k", "job_id": "job-1"})
+        loaded = OutcomeJournal.load(path)
+        assert loaded["k"]["type"] == "outcome"
+        types = [r["type"] for r in OutcomeJournal.load_records(path)]
+        assert types == ["outcome", "job"]  # full stream keeps both
+
+    def test_non_exclusive_journals_do_not_lock(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        OutcomeJournal(path).append({"key": "k", "status": "ok"})
+        assert not os.path.exists(f"{path}.lock")
 
 
 class TestMapOutcomes:

@@ -1,0 +1,32 @@
+"""The shared diagnostic-bundle format: write/read round trip."""
+
+from repro.resilience.bundles import read_bundle, write_bundle
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        path = write_bundle(str(tmp_path / "bundles"), "poison-0",
+                            {"kind": "poison-point", "attempts": 3})
+        assert path.endswith("poison-0.json")
+        assert read_bundle(path) == {"kind": "poison-point", "attempts": 3}
+
+    def test_write_creates_directory_and_trailing_newline(self, tmp_path):
+        path = write_bundle(str(tmp_path / "a" / "b"), "x", {"k": 1})
+        with open(path) as f:
+            text = f.read()
+        assert text.endswith("\n")
+
+
+class TestDefensiveRead:
+    def test_missing_bundle_reads_as_none(self, tmp_path):
+        assert read_bundle(str(tmp_path / "nope.json")) is None
+
+    def test_truncated_bundle_reads_as_none(self, tmp_path):
+        path = tmp_path / "torn.json"
+        path.write_text('{"kind": "poison-po')
+        assert read_bundle(str(path)) is None
+
+    def test_non_object_bundle_reads_as_none(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        assert read_bundle(str(path)) is None

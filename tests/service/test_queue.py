@@ -1,0 +1,134 @@
+"""BoundedJobQueue: priority order, backpressure, drain semantics."""
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.service.queue import (
+    BoundedJobQueue,
+    QueueClosedError,
+    QueueFullError,
+)
+
+
+class TestOrdering:
+    def test_higher_priority_first(self):
+        q = BoundedJobQueue(limit=8)
+        q.put("low", priority=0)
+        q.put("high", priority=9)
+        q.put("mid", priority=5)
+        assert [q.get(), q.get(), q.get()] == ["high", "mid", "low"]
+
+    def test_fifo_within_priority_band(self):
+        """Equal-priority jobs drain in admission order — deterministic
+        SIGTERM drain and no starvation inside a band."""
+        q = BoundedJobQueue(limit=8)
+        for name in ("a", "b", "c"):
+            q.put(name, priority=3)
+        assert [q.get(), q.get(), q.get()] == ["a", "b", "c"]
+
+    def test_snapshot_shows_drain_order(self):
+        q = BoundedJobQueue(limit=8)
+        q.put("low", priority=0)
+        q.put("high", priority=7)
+        assert q.snapshot() == ["high", "low"]
+        assert len(q) == 2
+
+
+class TestBackpressure:
+    def test_full_queue_raises_not_blocks(self):
+        q = BoundedJobQueue(limit=2, retry_after_s=2.5)
+        q.put("a")
+        q.put("b")
+        with pytest.raises(QueueFullError) as excinfo:
+            q.put("c")
+        assert excinfo.value.limit == 2
+        assert excinfo.value.retry_after_s == 2.5
+        assert len(q) == 2  # rejected job was not admitted
+
+    def test_force_bypasses_capacity_for_journal_resume(self):
+        q = BoundedJobQueue(limit=1)
+        q.put("a")
+        q.put("resumed", force=True)  # re-admitted from a previous life
+        assert len(q) == 2
+
+    def test_force_never_bypasses_closed(self):
+        q = BoundedJobQueue(limit=4)
+        q.close()
+        with pytest.raises(QueueClosedError):
+            q.put("x", force=True)
+
+    def test_capacity_frees_as_jobs_drain(self):
+        q = BoundedJobQueue(limit=1)
+        q.put("a")
+        with pytest.raises(QueueFullError):
+            q.put("b")
+        assert q.get() == "a"
+        q.put("b")  # slot is free again
+
+    @pytest.mark.parametrize("kwargs", [
+        {"limit": 0}, {"limit": -1},
+        {"limit": 4, "retry_after_s": 0.0},
+        {"limit": 4, "retry_after_s": -1.0},
+    ])
+    def test_bad_knobs_raise_config_error(self, kwargs):
+        with pytest.raises(ConfigError):
+            BoundedJobQueue(**kwargs)
+
+
+class TestDrain:
+    def test_close_refuses_admissions_but_drains_queued(self):
+        q = BoundedJobQueue(limit=4)
+        q.put("a")
+        q.put("b")
+        q.close()
+        with pytest.raises(QueueClosedError):
+            q.put("c")
+        assert q.get() == "a"
+        assert q.get() == "b"
+        assert q.get() is None  # closed and empty: drain complete
+
+    def test_get_timeout_returns_none(self):
+        q = BoundedJobQueue(limit=4)
+        assert q.get(timeout=0.01) is None
+
+    def test_close_wakes_blocked_getter(self):
+        q = BoundedJobQueue(limit=4)
+        results = []
+
+        def getter():
+            results.append(q.get(timeout=10.0))
+
+        thread = threading.Thread(target=getter)
+        thread.start()
+        q.close()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert results == [None]
+
+    def test_producer_consumer_threads(self):
+        """Concurrent producers and one consumer: every admitted job is
+        delivered exactly once."""
+        q = BoundedJobQueue(limit=1000)
+        produced = 200
+        seen = []
+
+        def producer(base):
+            for i in range(produced // 2):
+                q.put((base, i), priority=i % 3)
+
+        def consumer():
+            while len(seen) < produced:
+                item = q.get(timeout=5.0)
+                assert item is not None
+                seen.append(item)
+
+        threads = [threading.Thread(target=producer, args=(b,))
+                   for b in ("x", "y")] + [threading.Thread(target=consumer)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert len(seen) == produced
+        assert len(set(seen)) == produced

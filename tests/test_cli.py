@@ -152,3 +152,31 @@ class TestGlobalExecutionFlags:
         assert main(["--jobs", "4"] + argv) == 0
         parallel = capsys.readouterr().out
         assert serial == parallel
+
+
+class TestServeCommand:
+    def test_serve_defaults(self):
+        args = build_arg_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8421
+        assert args.state_dir == "serve-state"
+        assert args.queue_limit == 16
+        assert args.retry_after == 1.0
+        assert args.progress_every_events == 4096
+
+    def test_serve_accepts_supervision_flags(self):
+        args = build_arg_parser().parse_args(
+            ["serve", "--port", "0", "--queue-limit", "4",
+             "--point-timeout", "30", "--max-point-retries", "1",
+             "--quarantine-dir", "q"])
+        assert args.port == 0
+        assert args.queue_limit == 4
+        assert args.point_timeout == 30.0
+        assert args.max_point_retries == 1
+        assert args.quarantine_dir == "q"
+
+    def test_serve_rejects_bad_queue_limit(self, tmp_path, capsys):
+        code = main(["serve", "--port", "0", "--queue-limit", "0",
+                     "--state-dir", str(tmp_path / "s")])
+        assert code == 2
+        assert "queue_limit" in capsys.readouterr().err

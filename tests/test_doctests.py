@@ -11,6 +11,7 @@ MODULES = [
         "repro.events.engine",
         "repro.harness.sweep",
         "repro.network.message",
+        "repro.service.queue",
         "repro.system.collective_set",
     )
 ]
