@@ -26,18 +26,37 @@ class DetailedBackend(NetworkBackend):
     """Flit/credit/VC-level backend over the same physical links."""
 
     def __init__(self, events: EventQueue, network: NetworkConfig, sanitizer=None):
+        # _ports must exist before super().__init__: the base class assigns
+        # ``self.faults = None``, which runs the property setter below.
+        self._ports: dict[int, TxPort] = {}
+        self._faults = None
         super().__init__(events, sanitizer=sanitizer)
         self.network = network
-        self._ports: dict[int, TxPort] = {}
         # Per-backend VC assignment counter: using the global packet id
         # would rotate VC choices with every packet built anywhere in the
         # process, breaking run-to-run determinism.
         self._vc_seq = itertools.count()
 
+    @property
+    def faults(self):
+        return self._faults
+
+    @faults.setter
+    def faults(self, value) -> None:
+        # Burst plans precompute transmission times; a fault-driven link
+        # retiming (degrade_link swaps link.config mid-run) would leave a
+        # stale plan in flight.  With live faults every port falls back to
+        # the per-flit path, which reads the config per transmission.
+        self._faults = value
+        for port in self._ports.values():
+            port.burst_enabled = value is None
+
     def _port_for(self, link: Link) -> TxPort:
         port = self._ports.get(link.link_id)
         if port is None:
             port = TxPort(link, self.network, self.events, self._port_for)
+            if self._faults is not None:
+                port.burst_enabled = False
             if self.sanitizer is not None:
                 port.observer = self.sanitizer.conservation
                 self.sanitizer.conservation.register_port(port)
@@ -64,10 +83,10 @@ class DetailedBackend(NetworkBackend):
         state = {"remaining": total_flits, "first_tx": None}
         entry_port = self._port_for(path[0])
 
-        def flit_delivered(_flit) -> None:
+        def flits_delivered(flits: list) -> None:
             if self.sanitizer is not None:
-                self.sanitizer.conservation.flit_delivered(message)
-            state["remaining"] -= 1
+                self.sanitizer.conservation.flits_delivered(message, len(flits))
+            state["remaining"] -= len(flits)
             if state["remaining"] == 0:
                 # Approximate injection time as creation (flit-level queues
                 # make per-message injection a fuzzy notion); queueing shows
@@ -77,17 +96,24 @@ class DetailedBackend(NetworkBackend):
                 self._record_delivery(message)
                 on_delivered(message)
 
+        def flit_delivered(flit) -> None:
+            flits_delivered((flit,))
+
+        vcs_per_vnet = self.network.vcs_per_vnet
+        groups = []
         for packet in packets:
-            vc = next(self._vc_seq) % self.network.vcs_per_vnet
-            for flit in packet.flits:
-                ctx = HopContext(
-                    path=path,
-                    hop=0,
-                    vc=vc,
-                    upstream=None,
-                    on_delivered_flit=flit_delivered,
-                )
-                entry_port.enqueue(flit, ctx)
+            # One immutable HopContext per packet: every flit of the packet
+            # shares hop 0, the VC, and the delivery sinks.
+            ctx = HopContext(
+                path=path,
+                hop=0,
+                vc=next(self._vc_seq) % vcs_per_vnet,
+                upstream=None,
+                on_delivered_flit=flit_delivered,
+                on_delivered_flits=flits_delivered,
+            )
+            groups.append((ctx, packet.flits))
+        entry_port.enqueue_packets(groups)
 
     @property
     def total_flits_sent(self) -> int:

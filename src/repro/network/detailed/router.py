@@ -11,19 +11,85 @@ This is wormhole switching with flit-level VC interleaving — the same
 flow-control family as Garnet, minus per-router microarchitectural
 pipeline stages (the per-hop router latency is charged as a constant,
 Table III #25).
+
+Vectorized flit batching (PR 10)
+--------------------------------
+
+When every queued flit is on a single-hop path (hop 0 == last hop: no
+credits taken, no upstream to release, the destination sinks flits
+immediately), the port's entire drain is a pure function of the queue
+snapshot: strict round-robin over occupied VCs, each flit serializing
+for ``max(size, 1) / bytes_per_cycle`` cycles back to back.  Instead of
+two events per flit (tx-done + arrival), :meth:`TxPort._start_burst`
+computes the whole transmission schedule up front — numpy ``cumsum``
+over the serialization times, which performs the *same sequential float
+additions* the per-flit event chain would — and schedules one burst-end
+event plus one delivery event per message.  Every float in the plan is
+produced by the identical arithmetic expression, in the identical
+order, as the serial path, so simulated timestamps are bit-identical.
+
+Any interposed ``enqueue`` splits the burst (:meth:`TxPort._split_burst`):
+the already-transmitted prefix is committed (stats applied in pick
+order), the remainder is requeued, and arbitration resumes — including
+the new flit — when the in-flight flit completes, exactly when the
+serial path would have re-arbitrated.  Multi-hop traffic, and any run
+with live fault injection (which can retime links mid-flight), uses the
+unchanged per-flit path.
+
+Folded dispatches feed :attr:`EventQueue.events_simulated` via
+``credit_batched``: each commit credits two logical events per flit (the
+tx-done and arrival the serial path would have dispatched) and each
+piece of burst machinery that actually fires (burst end, delivery batch)
+debits one, so the logical event count equals the serial path's exactly.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Optional
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
 
 from repro.config.parameters import NetworkConfig
 from repro.errors import NetworkError
 from repro.events.engine import EventQueue
 from repro.network.detailed.flit import Flit
 from repro.network.link import Link
+
+#: Bursts below this many flits use the scalar plan path: numpy array
+#: construction costs more than it saves on tiny plans.  Both paths
+#: perform the identical sequence of float operations.
+_VECTOR_MIN_FLITS = 32
+
+
+class _Burst:
+    """An in-flight batched transmission plan for one :class:`TxPort`.
+
+    ``entries[i]`` transmits over ``[starts[i], ends[i])`` and arrives at
+    ``arrivals[i]``; entries before ``committed`` have had their stats /
+    observer / round-robin effects applied.  All time lists hold exactly
+    the floats the serial per-flit path would have produced.
+    """
+
+    __slots__ = ("entries", "vcs", "sers", "starts", "ends", "arrivals",
+                 "committed", "end_handle", "completions")
+
+    def __init__(self, entries, vcs, sers, starts, ends, arrivals):
+        self.entries = entries
+        self.vcs = vcs
+        self.sers = sers
+        self.starts = starts
+        self.ends = ends
+        self.arrivals = arrivals
+        self.committed = 0
+        self.end_handle = None
+        #: id(message) -> (message, [plan indices], delivery EventHandle).
+        self.completions = {}
 
 
 @dataclass
@@ -35,6 +101,11 @@ class HopContext:
     vc: int
     upstream: Optional["TxPort"]
     on_delivered_flit: Callable[[Flit], None]
+    #: Optional bulk delivery sink: called with a list of flits of *one*
+    #: message instead of ``on_delivered_flit`` per flit.  Burst delivery
+    #: batches use it to collapse per-flit callback overhead; the serial
+    #: per-flit path never consults it.
+    on_delivered_flits: Optional[Callable[[list], None]] = None
 
     @property
     def is_last_hop(self) -> bool:
@@ -69,16 +140,104 @@ class TxPort:
         # GB/s -> bytes/cycle derivation must not run per flit.
         self._bpc_config = None
         self._bytes_per_cycle = 0.0
+        #: Batched transmission (module docstring).  The backend clears
+        #: the flag while fault injection is live: a mid-burst link
+        #: retiming would invalidate the precomputed plan.
+        self.burst_enabled = True
+        self._burst: Optional[_Burst] = None
+        #: Queued flits that disqualify bursting (multi-hop, or final hop
+        #: of a multi-hop path, which still must release upstream credits
+        #: at exact transmission times).  Zero means every queued flit is
+        #: a pure single-hop sink and the whole drain can be batched.
+        self._nonburst_queued = 0
 
     # -- queue interface --------------------------------------------------------
 
     def enqueue(self, flit: Flit, ctx: HopContext) -> None:
         if not 0 <= ctx.vc < len(self.queues):
             raise NetworkError(f"VC {ctx.vc} out of range on {self.link!r}")
+        if self._burst is not None:
+            # New arbitration input: commit what the serial path would
+            # already have transmitted, requeue the rest, re-plan when the
+            # in-flight flit completes.
+            self._split_burst()
         self.queues[ctx.vc].append((flit, ctx))
+        if ctx.upstream is not None or not ctx.is_last_hop:
+            self._nonburst_queued += 1
         if self.observer is not None:
             self.observer.on_flit_enqueued(self, flit, ctx)
         self._try_send()
+
+    def enqueue_packets(self, groups: list) -> None:
+        """Enqueue whole packets at once: ``groups`` is ``[(ctx, flits)]``.
+
+        Serially identical to calling :meth:`enqueue` per flit, but the
+        per-packet eligibility checks and burst splitting run per message
+        instead of per flit.  ``DetailedBackend.send`` is the caller.
+
+        Equivalence argument: within one packet all flits share a VC, and
+        appending to a VC's queue tail never changes ``_pick_vc``'s
+        inputs (head entry and credit count), so arbitration only needs a
+        chance to run once per packet — exactly what the serial per-flit
+        path's first effective ``_try_send`` per packet amounts to.  If
+        the first packet starts a burst, later packets append behind it
+        and the single trailing split re-arbitrates at the in-flight
+        flit's completion, which is when the serial path would next pick.
+        """
+        if self._burst is not None:
+            self._split_burst()
+        queues = self.queues
+        n = len(queues)
+        observer = self.observer
+        first_ctx = groups[0][0]
+        if (self.burst_enabled and not self._sending
+                and self._nonburst_queued == 0
+                and first_ctx.upstream is None and first_ctx.is_last_hop
+                and not any(queues)):
+            # Whole-message fast path: the port is idle and empty, so the
+            # serial schedule is fully determined — first pick is packet
+            # 1's VC (the only occupied queue when serial arbitration
+            # would first run), then round-robin over everything.  One
+            # pinned burst replaces the plan/split/replan cycle.
+            for ctx, flits in groups:
+                vc = ctx.vc
+                if not 0 <= vc < n:
+                    raise NetworkError(
+                        f"VC {vc} out of range on {self.link!r}")
+                queue = queues[vc]
+                if observer is None:
+                    queue.extend((flit, ctx) for flit in flits)
+                else:
+                    for flit in flits:
+                        queue.append((flit, ctx))
+                        observer.on_flit_enqueued(self, flit, ctx)
+            self._start_burst(pin_first=first_ctx.vc)
+            return
+        for ctx, flits in groups:
+            vc = ctx.vc
+            if not 0 <= vc < n:
+                raise NetworkError(f"VC {vc} out of range on {self.link!r}")
+            if ctx.upstream is not None or not ctx.is_last_hop:
+                self._nonburst_queued += len(flits)
+            queue = queues[vc]
+            if observer is None:
+                queue.extend((flit, ctx) for flit in flits)
+            else:
+                for flit in flits:
+                    queue.append((flit, ctx))
+                    observer.on_flit_enqueued(self, flit, ctx)
+            if not self._sending:
+                self._try_send()
+        if self._burst is not None and any(queues):
+            # Packets landed after the burst was planned; re-arbitrate
+            # with them included when the in-flight flit completes.
+            self._split_burst()
+
+    def queued_flits(self) -> int:
+        """Flits waiting in this port's VC queues (burst plans hold none:
+        a burst pops its snapshot out of the queues and requeues leftovers
+        on split, so at quiescence this is exactly the stuck-flit count)."""
+        return sum(len(q) for q in self.queues)
 
     def release_credit(self, vc: int) -> None:
         """Downstream buffer slot freed (flit departed the next hop)."""
@@ -107,11 +266,16 @@ class TxPort:
     def _try_send(self) -> None:
         if self._sending:
             return
+        if self.burst_enabled and self._nonburst_queued == 0:
+            self._start_burst()
+            return
         vc = self._pick_vc()
         if vc is None:
             return
         self._sending = True
         flit, ctx = self.queues[vc].popleft()
+        if ctx.upstream is not None or not ctx.is_last_hop:
+            self._nonburst_queued -= 1
 
         if not ctx.is_last_hop:
             self.credits[vc] -= 1
@@ -159,8 +323,224 @@ class TxPort:
             vc=ctx.vc,
             upstream=self,
             on_delivered_flit=ctx.on_delivered_flit,
+            on_delivered_flits=ctx.on_delivered_flits,
         )
         self.events.schedule(
             self.network.router_latency_cycles,
             lambda: next_port.enqueue(flit, next_ctx),
         )
+
+    # -- batched transmission (single-hop bursts) ---------------------------------
+
+    def _start_burst(self, pin_first: Optional[int] = None) -> None:
+        """Plan and schedule the whole queued drain as one burst.
+
+        Only called when every queued flit is single-hop (see
+        ``_nonburst_queued``).  The pick order is exactly what repeated
+        ``_pick_vc`` calls would produce: strict round-robin over the
+        occupied VCs starting from ``_rr`` (no credit gating applies to
+        last-hop flits).  Per-VC FIFO order is preserved.
+
+        ``pin_first`` (enqueue_packets' whole-message fast path) forces
+        the first pick to that VC's head — the pick serial arbitration
+        already made when the message's first packet arrived at the idle
+        port — with round-robin continuing from the next VC.
+        """
+        queues = self.queues
+        n = len(queues)
+        if pin_first is None:
+            first = None
+            rr = self._rr
+        else:
+            first = queues[pin_first].popleft()
+            rr = (pin_first + 1) % n
+        snap = []
+        for offset in range(n):
+            vc = (rr + offset) % n
+            q = queues[vc]
+            if q:
+                snap.append((vc, list(q)))
+                q.clear()
+        if first is not None:
+            entries = [first]
+            vcs = [pin_first]
+        elif not snap:
+            return
+        else:
+            entries = []
+            vcs = []
+        if len(snap) == 1:
+            vc, lst = snap[0]
+            entries.extend(lst)
+            vcs.extend([vc] * len(lst))
+        elif snap:
+            rounds = max(len(lst) for _, lst in snap)
+            for r in range(rounds):
+                for vc, lst in snap:
+                    if r < len(lst):
+                        entries.append(lst[r])
+                        vcs.append(vc)
+
+        link = self.link
+        config = link.config
+        if config is not self._bpc_config:
+            self._bytes_per_cycle = config.effective_bytes_per_cycle(link.clock)
+            self._bpc_config = config
+        bpc = self._bytes_per_cycle
+        latency = config.latency_cycles
+        t0 = self.events.now
+        m = len(entries)
+        # Both plan paths replicate the serial per-flit arithmetic bit for
+        # bit: ends chain as ``end = start + ser`` (numpy cumsum performs
+        # the same sequential additions) and each arrival is
+        # ``start + (ser + latency)``, the exact expression the per-flit
+        # schedule() call evaluates.
+        if _np is not None and m >= _VECTOR_MIN_FLITS:
+            sizes = _np.fromiter(
+                (entry[0].size_bytes for entry in entries),
+                dtype=_np.float64, count=m,
+            )
+            sers_arr = _np.maximum(sizes, 1.0) / bpc
+            bounds = _np.empty(m + 1, dtype=_np.float64)
+            bounds[0] = t0
+            bounds[1:] = sers_arr
+            bounds = _np.cumsum(bounds)
+            sers = sers_arr.tolist()
+            starts = bounds[:-1].tolist()
+            ends = bounds[1:].tolist()
+            arrivals = (bounds[:-1] + (sers_arr + latency)).tolist()
+        else:
+            sers = []
+            starts = []
+            ends = []
+            arrivals = []
+            s = t0
+            for flit, _ctx in entries:
+                ser = max(flit.size_bytes, 1.0) / bpc
+                sers.append(ser)
+                starts.append(s)
+                arrivals.append(s + (ser + latency))
+                s = s + ser
+                ends.append(s)
+
+        self._sending = True
+        burst = _Burst(entries, vcs, sers, starts, ends, arrivals)
+        self._burst = burst
+
+        schedule_at = self.events.schedule_at
+        completions = burst.completions
+        for i, (flit, _ctx) in enumerate(entries):
+            message = flit.packet.message
+            rec = completions.get(id(message))
+            if rec is None:
+                completions[id(message)] = [message, [i], None]
+            else:
+                rec[1].append(i)
+        for rec in completions.values():
+            idxs = rec[1]
+            batch = [entries[i] for i in idxs]
+            rec[2] = schedule_at(
+                arrivals[idxs[-1]],
+                lambda b=batch: self._deliver_batch(b),
+            )
+        burst.end_handle = schedule_at(ends[-1], self._burst_end)
+
+    def _commit_upto(self, burst: _Burst, cut: int) -> None:
+        """Apply transmit effects for plan entries ``[committed, cut)``.
+
+        Mirrors the serial path's per-flit effects in pick order: observer
+        notification, link stats accumulation (same floats, same order),
+        flit counter, and the round-robin pointer advancing past the last
+        transmitted VC.  Credits two logical events per flit — the
+        tx-done and arrival dispatches the serial path would have run.
+        """
+        start_i = burst.committed
+        if cut <= start_i:
+            return
+        burst.committed = cut
+        entries = burst.entries
+        sers = burst.sers
+        observer = self.observer
+        stats = self.link.stats
+        self.flits_sent += cut - start_i
+        self.events.credit_batched(2 * (cut - start_i))
+        for i in range(start_i, cut):
+            flit, ctx = entries[i]
+            if observer is not None:
+                observer.on_flit_transmit(self, flit, ctx, credit_taken=False)
+            stats.bytes += flit.size_bytes
+            # det: allow[float-accumulation] one link = one time-ordered flit stream
+            stats.busy_cycles += sers[i]
+        self._rr = (burst.vcs[cut - 1] + 1) % len(self.queues)
+
+    def _split_burst(self) -> None:
+        """Interposition: stop the burst at ``now`` and requeue the rest.
+
+        The serial path would have transmitted every flit whose start time
+        is <= now (a flit starting exactly at ``now`` wins: its tx-done
+        event was scheduled before the interposing one, so it re-arbitrates
+        first).  Those are committed; later entries go back to their VC
+        queues in FIFO order, and a resume event at the in-flight flit's
+        completion re-plans with the new arrival included — exactly when
+        serial arbitration would next run.
+        """
+        burst = self._burst
+        self._burst = None
+        now = self.events.now
+        starts = burst.starts
+        entries = burst.entries
+        total = len(entries)
+        cut = bisect_right(starts, now)
+        self._commit_upto(burst, cut)
+        if cut >= total:
+            # Everything already transmitted; the pending end event doubles
+            # as the resume point.
+            return
+        burst.end_handle.cancel()
+        self.events.schedule_at(burst.ends[cut - 1], self._burst_end)
+
+        arrivals = burst.arrivals
+        schedule_at = self.events.schedule_at
+        for message, idxs, handle in burst.completions.values():
+            if idxs[-1] < cut:
+                continue  # fully committed; delivery times stand as planned
+            handle.cancel()
+            committed = [i for i in idxs if i < cut]
+            if committed:
+                # Deliver the transmitted prefix at its own last arrival.
+                # With zero propagation latency that can already be in the
+                # past (serial delivered those flits before the interposing
+                # event); clamping to now only retimes counter decrements —
+                # the message's final, visible delivery always rides the
+                # last chunk, whose arrival is in the future.
+                batch = [entries[i] for i in committed]
+                at = arrivals[committed[-1]]
+                schedule_at(at if at > now else now,
+                            lambda b=batch: self._deliver_batch(b))
+
+        queues = self.queues
+        for i in range(cut, total):
+            queues[burst.vcs[i]].append(entries[i])
+
+    def _burst_end(self) -> None:
+        # This dispatch stands in for one serial tx-done already credited
+        # by _commit_upto; debit it so logical event counts match exactly.
+        self.events.credit_batched(-1)
+        burst = self._burst
+        if burst is not None:
+            self._burst = None
+            self._commit_upto(burst, len(burst.entries))
+        self._sending = False
+        self._try_send()
+
+    def _deliver_batch(self, batch: list) -> None:
+        # Stands in for one serial arrival dispatch (see _burst_end).
+        self.events.credit_batched(-1)
+        # One batch = one message (completions are grouped per message),
+        # so every ctx shares the same delivery sink.
+        bulk = batch[0][1].on_delivered_flits
+        if bulk is not None:
+            bulk([flit for flit, _ctx in batch])
+        else:
+            for flit, ctx in batch:
+                ctx.on_delivered_flit(flit)

@@ -38,7 +38,8 @@ class Link:
     """
 
     __slots__ = ("link_id", "src", "dst", "config", "kind", "clock",
-                 "next_free", "stats", "_ser_config", "_bytes_per_cycle")
+                 "next_free", "stats", "_ser_config", "_bytes_per_cycle",
+                 "_memo_size", "_memo_ser", "_memo_head_ser")
 
     def __init__(
         self,
@@ -64,6 +65,12 @@ class Link:
         # which invalidates the memo on the next call.
         self._ser_config: LinkConfig | None = None
         self._bytes_per_cycle = 0.0
+        # One-slot (config, size) -> serialization memo: a collective
+        # pushes one message size through a link thousands of times, so
+        # reserve() usually skips both serialization_cycles calls.
+        self._memo_size = -1.0
+        self._memo_ser = 0.0
+        self._memo_head_ser = 0.0
 
     def serialization_cycles(self, size_bytes: float) -> float:
         """Cycles to push ``size_bytes`` through this link (memoized BW).
@@ -95,11 +102,19 @@ class Link:
         if size_bytes < 0:
             raise NetworkError(f"size must be >= 0: {size_bytes}")
         config = self.config
+        if config is self._ser_config and size_bytes == self._memo_size:
+            ser = self._memo_ser
+            head_ser = self._memo_head_ser
+        else:
+            ser = self.serialization_cycles(size_bytes)
+            first_packet = min(size_bytes, float(config.packet_size_bytes))
+            head_ser = self.serialization_cycles(first_packet)
+            self._memo_size = size_bytes
+            self._memo_ser = ser
+            self._memo_head_ser = head_ser
         latency = config.latency_cycles
         start = max(at, self.next_free)
-        ser = self.serialization_cycles(size_bytes)
-        first_packet = min(size_bytes, float(config.packet_size_bytes))
-        head_arrival = start + self.serialization_cycles(first_packet) + latency
+        head_arrival = start + head_ser + latency
         tail_arrival = start + ser + latency
         self.next_free = start + ser
 

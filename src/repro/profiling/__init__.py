@@ -2,8 +2,9 @@
 
 See docs/PERFORMANCE.md.  The CLI's global ``--profile`` flag prints a
 :class:`RunProfile` after any run; ``benchmarks/bench_hot_path.py``
-writes the canonical macro-benchmark as ``BENCH_PR5.json`` and CI fails
-on a >20% events/sec regression versus the committed baseline.
+writes the canonical macro-benchmark as ``BENCH_PR<k>.json`` and CI
+fails on a >20% events/sec regression versus the newest committed
+baseline (:func:`find_newest_bench`).
 """
 
 from repro.profiling.profiler import (
@@ -11,6 +12,7 @@ from repro.profiling.profiler import (
     RunProfile,
     active_profile,
     compare_bench,
+    find_newest_bench,
     read_bench,
     set_active_profile,
     write_bench,
@@ -21,6 +23,7 @@ __all__ = [
     "RunProfile",
     "active_profile",
     "compare_bench",
+    "find_newest_bench",
     "read_bench",
     "set_active_profile",
     "write_bench",

@@ -56,8 +56,16 @@ class RunProfile:
         self.phases.append((label, float(seconds)))
 
     def record_system(self, system: Any) -> None:
-        """Pull event/cycle counters off a finished system."""
-        self.events += system.events.events_processed
+        """Pull event/cycle counters off a finished system.
+
+        Counts *logical* events (:attr:`EventQueue.events_simulated`):
+        dispatches plus the singleton events that batched handlers folded
+        away (delivery coalescing, flit bursts).  That keeps events/sec
+        meaningful as a throughput figure across batching changes — the
+        denominator work is what the unbatched design would have
+        dispatched, not however few dispatches the batching needed.
+        """
+        self.events += system.events.events_simulated
         self.cycles = max(self.cycles, system.now)
 
     @property
@@ -138,6 +146,34 @@ def write_bench(path: str, benchmarks: list[dict[str, Any]],
         f.write("\n")
     os.replace(tmp, path)
     return path
+
+
+def find_newest_bench(root: str) -> str:
+    """Path of the newest ``BENCH_PR<k>.json`` under ``root``.
+
+    "Newest" is the highest PR number, not mtime or lexicographic order
+    (``BENCH_PR10`` > ``BENCH_PR5`` numerically but not as strings) —
+    checkouts do not preserve commit times, so the filename is the only
+    trustworthy ordering.  Non-matching ``BENCH_*.json`` names are
+    ignored.  Raises :class:`ReproError` when no baseline exists.
+    """
+    import re
+
+    best: tuple[int, str] | None = None
+    pattern = re.compile(r"^BENCH_PR(\d+)\.json$")
+    try:
+        names = os.listdir(root)
+    except OSError as exc:
+        raise ReproError(f"cannot list bench root {root}: {exc}") from exc
+    for name in names:
+        match = pattern.match(name)
+        if match:
+            key = int(match.group(1))
+            if best is None or key > best[0]:
+                best = (key, name)
+    if best is None:
+        raise ReproError(f"no BENCH_PR<k>.json baseline found in {root}")
+    return os.path.join(root, best[1])
 
 
 def read_bench(path: str) -> dict[str, Any]:

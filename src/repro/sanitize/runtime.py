@@ -24,7 +24,6 @@ exists and the default simulation path is byte-for-byte unchanged.
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
@@ -75,13 +74,13 @@ class SanitizedEventQueue(EventQueue):
         self._same_time_run = 0
 
     def step(self) -> bool:
-        # Cancelled heads are drained through the shared _peek_live()
-        # helper so the pending/compaction bookkeeping cannot drift from
-        # the base queue's drain paths.
-        event = self._peek_live()
+        # Cancelled heads are drained through the shared _pop_live()
+        # primitive so the pending/compaction bookkeeping cannot drift
+        # from the base queue's drain paths, whichever mode (heap or
+        # calendar) the queue is in.
+        event = self._pop_live()
         if event is None:
             return False
-        heapq.heappop(self._heap)
         if event.time < self._now:
             raise SanitizerError(
                 f"time-travel: event scheduled for t={event.time} fired "
@@ -158,8 +157,17 @@ class ConservationChecker:
         ledger.created += count
 
     def flit_delivered(self, message: "Message") -> None:
+        self.flits_delivered(message, 1)
+
+    def flits_delivered(self, message: "Message", count: int) -> None:
+        """Bulk delivery credit: one ledger update for ``count`` flits.
+
+        Burst delivery batches (PR 10) land a whole message chunk in one
+        dispatch; per-flit ledger calls there would undo the batching's
+        point.  Identical accounting to ``count`` single calls.
+        """
         ledger = self._ledger(message)
-        ledger.delivered += 1
+        ledger.delivered += count
         if ledger.delivered > ledger.created:
             raise SanitizerError(
                 f"flit conservation: message {ledger.label} delivered "
@@ -235,7 +243,7 @@ class ConservationChecker:
                 source="runtime",
             ))
         for port in self._ports.values():
-            queued = sum(len(q) for q in port.queues)
+            queued = port.queued_flits()
             if queued:
                 findings.append(Finding(
                     Severity.ERROR, "stuck-flits",

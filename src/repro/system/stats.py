@@ -29,7 +29,9 @@ class DelayBreakdown:
     ready_queue_delays: list[float] = field(default_factory=list)
 
     def record_message(self, phase_index: int, message: Message) -> None:
-        stats = self.phase_stats.setdefault(phase_index, PhaseStats())
+        stats = self.phase_stats.get(phase_index)
+        if stats is None:
+            stats = self.phase_stats[phase_index] = PhaseStats()
         stats.record(message)
 
     def record_ready_queue(self, delay_cycles: float) -> None:

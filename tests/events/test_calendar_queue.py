@@ -1,0 +1,222 @@
+"""Calendar-queue scheduler invariants (the PR 10 event-core rewrite).
+
+The adaptive engine boots on a plain binary heap and upgrades itself to
+a bucketed calendar once the live population crosses
+``CALENDAR_MIN_PENDING``; these tests force the upgrade early by
+lowering that threshold on an instance, then check the invariants the
+calendar must keep: drain order identical to the heap, tie-break
+permutation semantics, cancellation/compaction accounting, ``run(until)``
+monotonicity, watcher cadence across fast-forwarded idle gaps, and
+pending-count integrity under mixed bucket/overflow load.
+"""
+
+from repro.events.engine import EventQueue
+from repro.sanitize.schedule import SeededTieBreak
+
+
+def _delay(i: int) -> float:
+    """Deterministic pseudo-random spacing (integer hash, no RNG)."""
+    return float((i * 2654435761 >> 7) % 997 + 1)
+
+
+def calendar_queue(threshold: int = 4) -> EventQueue:
+    q = EventQueue()
+    q.CALENDAR_MIN_PENDING = threshold
+    return q
+
+
+def heap_queue() -> EventQueue:
+    """A queue that never upgrades — the reference schedule."""
+    q = EventQueue()
+    q.CALENDAR_MIN_PENDING = 1 << 60
+    return q
+
+
+def schedule_workload(q: EventQueue, n: int = 512) -> list:
+    fired = []
+    for i in range(n):
+        q.schedule_at(_delay(i), lambda i=i: fired.append((q.now, i)))
+    return fired
+
+
+class TestCalendarUpgrade:
+    def test_upgrades_past_threshold(self):
+        q = calendar_queue(threshold=8)
+        schedule_workload(q, 64)
+        q.run()
+        assert q.calendar_active
+
+    def test_stays_on_heap_below_threshold(self):
+        q = calendar_queue(threshold=8)
+        schedule_workload(q, 4)
+        q.run()
+        assert not q.calendar_active
+
+
+class TestModeEquivalence:
+    """The structures differ, the schedule must not."""
+
+    def test_drain_order_matches_heap(self):
+        runs = []
+        for make in (heap_queue, calendar_queue):
+            q = make()
+            fired = schedule_workload(q)
+            q.run()
+            runs.append(fired)
+        assert runs[0] == runs[1]
+        assert len(runs[0]) == 512
+
+    def test_same_time_events_fire_fifo_in_calendar_mode(self):
+        q = calendar_queue()
+        fired = []
+        # Enough spread events to trigger the upgrade, then a same-time
+        # cluster that must drain in schedule order.
+        for i in range(32):
+            q.schedule_at(float(i), lambda: None)
+        for i in range(16):
+            q.schedule_at(100.0, lambda i=i: fired.append(i))
+        q.run()
+        assert fired == list(range(16))
+
+    def test_tiebreak_permutation_matches_heap(self):
+        """A seeded tie-break permutes same-timestamp drains identically
+        in both modes — the race detector's schedules are mode-blind."""
+        orders = []
+        for make in (heap_queue, calendar_queue):
+            q = make()
+            q.tie_breaker = SeededTieBreak(0xC0FFEE)
+            fired = []
+            for i in range(64):
+                q.schedule_at(float(i % 4), lambda i=i: fired.append(i))
+            q.run()
+            orders.append(fired)
+        assert orders[0] == orders[1]
+        assert sorted(orders[0]) == list(range(64))
+        assert orders[0] != list(range(64))  # the seed did permute
+
+
+class TestCancellationAccounting:
+    def test_cancel_then_compact(self):
+        q = calendar_queue()
+        q.COMPACT_MIN_CANCELLED = 16
+        fired = []
+        handles = []
+        for i in range(256):
+            handles.append(
+                q.schedule_at(_delay(i), lambda i=i: fired.append(i)))
+        for handle in handles[:192]:
+            handle.cancel()
+        assert q.pending == q.live_count() == 64
+        assert q.compactions > 0  # the >2:1 dead ratio forced a rebuild
+        q.run()
+        assert sorted(fired) == list(range(192, 256))
+        assert q.pending == 0
+
+    def test_cancel_after_fire_is_noop(self):
+        q = calendar_queue()
+        handles = [q.schedule_at(_delay(i), lambda: None) for i in range(64)]
+        q.run()
+        for handle in handles:
+            handle.cancel()  # must not drive pending negative
+        assert q.pending == q.live_count() == 0
+
+    def test_pending_matches_live_count_under_churn(self):
+        """Incremental pending bookkeeping vs ground-truth recount, checked
+        after every dispatch via the watcher hook."""
+        q = calendar_queue()
+        state = {"i": 0}
+
+        def churn() -> None:
+            i = state["i"]
+            if i >= 400:
+                return
+            state["i"] = i + 1
+            handle = q.schedule(_delay(i), churn)
+            if i % 3 == 0:
+                handle.cancel()
+                churn()
+
+        def check_no_drift(queue: EventQueue) -> None:
+            assert queue.pending == queue.live_count(), "pending drift"
+
+        q.watcher = check_no_drift
+        for i in range(32):
+            state["i"] += 1
+            q.schedule(_delay(i), churn)
+        q.run()
+        assert q.pending == q.live_count() == 0
+
+
+class TestRunUntil:
+    def test_no_rewind_across_buckets(self):
+        q = calendar_queue()
+        seen = []
+        for i in range(256):
+            q.schedule_at(_delay(i), lambda: seen.append(q.now))
+        q.run(until=300.0)
+        assert q.now <= 300.0
+        assert all(t <= 300.0 for t in seen)
+        boundary = len(seen)
+        q.run()
+        assert all(t > 300.0 for t in seen[boundary:])
+        assert seen == sorted(seen)  # time never rewound
+        assert len(seen) == 256
+
+
+class TestFastForward:
+    def test_idle_gaps_jumped_in_one_step(self):
+        """Sparse far-apart events cross many empty buckets; the index
+        heap must jump each gap in one pop, not walk bucket-by-bucket."""
+        q = calendar_queue()
+        fired = []
+        # Dense cluster to trigger the upgrade and tune a narrow bucket
+        # width, then sparse events separated by huge idle stretches.
+        for i in range(64):
+            q.schedule_at(float(i), lambda: None)
+        for i in range(8):
+            q.schedule_at(1e6 + i * 1e5, lambda i=i: fired.append(i))
+        q.run()
+        assert fired == list(range(8))
+        assert q.fast_forwards > 0
+        assert q.buckets_skipped >= q.fast_forwards
+
+    def test_watcher_fires_per_dispatch_across_gaps(self):
+        q = calendar_queue()
+        ticks = []
+        q.watcher = lambda queue: ticks.append(queue.now)
+        for i in range(64):
+            q.schedule_at(float(i), lambda: None)
+        for i in range(4):
+            q.schedule_at(1e7 + i * 1e6, lambda: None)
+        q.run()
+        assert len(ticks) == q.events_processed == 68
+        assert ticks == sorted(ticks)
+
+
+class TestOverflow:
+    def test_far_future_events_fire_in_order(self):
+        """Events past the calendar horizon sit in the overflow heap and
+        must migrate in as the calendar advances — interleaved correctly
+        with near-term traffic."""
+        q = calendar_queue()
+        fired = []
+        times = [_delay(i) for i in range(128)]
+        times += [1e15 + _delay(i) for i in range(32)]  # far past horizon
+        for i, t in enumerate(times):
+            q.schedule_at(t, lambda i=i: fired.append(i))
+        assert q.pending == q.live_count() == 160
+        q.run()
+        expected = [i for i, _t in sorted(enumerate(times),
+                                          key=lambda pair: (pair[1], pair[0]))]
+        assert fired == expected
+
+    def test_cancel_in_overflow_accounted(self):
+        q = calendar_queue()
+        for i in range(64):
+            q.schedule_at(_delay(i), lambda: None)
+        far = [q.schedule_at(1e15 + i, lambda: None) for i in range(16)]
+        for handle in far[::2]:
+            handle.cancel()
+        assert q.pending == q.live_count() == 64 + 8
+        q.run()
+        assert q.pending == 0

@@ -1,0 +1,126 @@
+"""Burst-batching on/off equivalence for the detailed backend (PR 10).
+
+The vectorized flit-burst path (``TxPort._start_burst`` and friends)
+must be invisible to simulated time: with bursting force-disabled the
+same workload must land on bit-identical cycles, identical *logical*
+event counts (``events_simulated``), and identical per-port link stats.
+These tests run representative collectives both ways and compare.
+"""
+
+import pytest
+
+from repro.collectives import CollectiveOp
+from repro.config import AllToAllShape, TorusShape
+from repro.config.units import KB
+from repro.harness.runners import (
+    alltoall_platform,
+    run_collective,
+    torus_platform,
+)
+from repro.network.detailed import DetailedBackend
+from repro.network.detailed import router
+
+#: Pre-burst regression constant: the serial path's exact cycle count
+#: for the 2x2x2 torus 64 KB all-reduce, recorded before the burst work
+#: landed.  Both paths must still produce it, bit for bit.
+TORUS_AR_64KB_CYCLES = 2601.3617021276464
+
+
+def _detailed_factory(events, network, sanitizer):
+    return DetailedBackend(events, network, sanitizer=sanitizer)
+
+
+def _run(make_spec, op, size, burst: bool, sanitize: bool = False):
+    """One detailed-backend collective with bursting forced on or off.
+
+    Returns ``(duration_cycles, events_simulated, per-port stats)`` where
+    port stats are keyed by ``(src, dst)`` — link ids come from a
+    process-global counter and differ between builds.
+    """
+    orig_init = router.TxPort.__init__
+
+    def patched(self, *args, **kwargs):
+        orig_init(self, *args, **kwargs)
+        if not burst:
+            self.burst_enabled = False
+
+    router.TxPort.__init__ = patched
+    try:
+        spec = make_spec()
+        spec.backend_factory = _detailed_factory
+        result = run_collective(spec, op, size, sanitize=sanitize)
+    finally:
+        router.TxPort.__init__ = orig_init
+    system = result.system
+    ports = sorted(system.backend._ports.values(),
+                   key=lambda p: (p.link.src, p.link.dst))
+    stats = [(p.link.src, p.link.dst, p.flits_sent,
+              p.link.stats.bytes, p.link.stats.busy_cycles)
+             for p in ports]
+    return result.duration_cycles, system.events.events_simulated, stats
+
+
+WORKLOADS = [
+    ("torus_allreduce_64kb",
+     lambda: torus_platform(TorusShape(2, 2, 2), preferred_set_splits=4),
+     CollectiveOp.ALL_REDUCE, 64 * KB),
+    ("torus_alltoall_16kb",
+     lambda: torus_platform(TorusShape(2, 2, 2), preferred_set_splits=4),
+     CollectiveOp.ALL_TO_ALL, 16 * KB),
+    ("switch_allgather_64kb",
+     lambda: alltoall_platform(AllToAllShape(local=2, packages=4)),
+     CollectiveOp.ALL_GATHER, 64 * KB),
+]
+
+
+class TestBurstEquivalence:
+    @pytest.mark.parametrize("name,make_spec,op,size", WORKLOADS,
+                             ids=[w[0] for w in WORKLOADS])
+    def test_cycles_events_and_port_stats_identical(self, name, make_spec,
+                                                    op, size):
+        on = _run(make_spec, op, size, burst=True)
+        off = _run(make_spec, op, size, burst=False)
+        assert on[0] == off[0], "duration_cycles diverged"
+        assert on[1] == off[1], "logical event count diverged"
+        assert on[2] == off[2], "per-port link stats diverged"
+
+    def test_serial_path_preserves_pre_burst_cycles(self):
+        name, make_spec, op, size = WORKLOADS[0]
+        cycles, _events, _stats = _run(make_spec, op, size, burst=False)
+        assert cycles == TORUS_AR_64KB_CYCLES
+
+    def test_burst_path_preserves_pre_burst_cycles(self):
+        name, make_spec, op, size = WORKLOADS[0]
+        cycles, _events, _stats = _run(make_spec, op, size, burst=True)
+        assert cycles == TORUS_AR_64KB_CYCLES
+
+    def test_sanitized_run_identical(self):
+        """The conservation checker's bulk ledger must see every flit the
+        burst path delivers — and the sanitizer must not perturb cycles."""
+        name, make_spec, op, size = WORKLOADS[0]
+        plain = _run(make_spec, op, size, burst=True)
+        checked = _run(make_spec, op, size, burst=True, sanitize=True)
+        assert plain[0] == checked[0]
+
+    def test_faults_disable_bursting(self):
+        """Installing a fault state flips every live port to the serial
+        path (burst plans cannot survive a mid-run link retiming)."""
+        from repro.events import EventQueue
+        from tests.network.test_detailed_backend import IDEAL, make_net
+        from repro.network import Link, Message
+
+        net = make_net()
+        q = EventQueue()
+        backend = DetailedBackend(q, net)
+        link = Link(0, 1, IDEAL)
+        backend.send(Message(0, 1, 4096.0), [link], lambda m: None)
+        port = next(iter(backend._ports.values()))
+        assert port.burst_enabled
+
+        class _FakeFaults:
+            pass
+
+        backend.faults = _FakeFaults()
+        assert not port.burst_enabled
+        backend.faults = None
+        assert port.burst_enabled
